@@ -1,0 +1,90 @@
+// Command dinar-bench regenerates the paper's evaluation artifacts: every
+// table and figure of §5 maps to an experiment ID.
+//
+// Usage:
+//
+//	dinar-bench -exp fig6                # one experiment at full scale
+//	dinar-bench -exp fig6 -quick         # reduced smoke scale
+//	dinar-bench -exp all                 # everything (long)
+//	dinar-bench -list                    # list experiment IDs
+//
+// The rows printed correspond to the bars/curves/cells of the paper's
+// artifact; EXPERIMENTS.md records paper-vs-measured values.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dinar-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dinar-bench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "", "experiment ID (or 'all')")
+		list    = fs.Bool("list", false, "list experiment IDs and exit")
+		quick   = fs.Bool("quick", false, "reduced smoke-scale configuration")
+		seed    = fs.Int64("seed", 1, "experiment seed")
+		records = fs.Int("records", 0, "override dataset record count")
+		rounds  = fs.Int("rounds", 0, "override FL rounds")
+		clients = fs.Int("clients", 0, "override FL client count")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	if *exp == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -exp (try -list)")
+	}
+
+	o := experiment.DefaultOptions()
+	if *quick {
+		o = experiment.QuickOptions()
+	}
+	o.Seed = *seed
+	if *records > 0 {
+		o.Records = *records
+	}
+	if *rounds > 0 {
+		o.Rounds = *rounds
+	}
+	if *clients > 0 {
+		o.Clients = *clients
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiment.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := experiment.Run(ctx, id, o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(tbl.String())
+		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingExperiment(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -exp should fail")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	// table1 is static and fast; exercises the full output path.
+	if err := run([]string{"-exp", "table1", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

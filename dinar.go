@@ -1,0 +1,259 @@
+// Package dinar is the public API of this repository: a from-scratch Go
+// implementation of DINAR — "Personalized Privacy-Preserving Federated
+// Learning" (Boscher, Benarba, Elhattab, Bouchenak; MIDDLEWARE '24,
+// doi:10.1145/3652892.3700785) — together with the complete substrate the
+// paper's evaluation needs: a neural-network engine, synthetic stand-ins for
+// the paper's seven datasets, the FedAvg federated-learning core, five
+// state-of-the-art defense baselines (LDP, CDP, WDP, GC, SA), membership
+// inference attacks, the layer-leakage analyzer, the Byzantine-tolerant
+// layer-vote consensus, and a TCP middleware deployment.
+//
+// # Quick start
+//
+//	sys, err := dinar.New(dinar.Config{
+//		Dataset: "purchase100",
+//		Defense: "dinar",
+//		Clients: 5,
+//		Rounds:  10,
+//		Seed:    1,
+//	})
+//	if err != nil { ... }
+//	if err := sys.Train(ctx); err != nil { ... }
+//	priv, err := sys.EvaluatePrivacy(ctx) // attack AUCs, 50% = optimal
+//	acc, err := sys.Utility()             // mean personalized accuracy
+//
+// Experiment reproduction (every table/figure of the paper's §5) is exposed
+// through RunExperiment and the cmd/dinar-bench tool.
+package dinar
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/defense"
+	"repro/internal/experiment"
+	"repro/internal/fl"
+)
+
+// Defenses lists the supported defense names in the paper's presentation
+// order: "none" (undefended baseline), "wdp", "ldp", "cdp", "gc", "sa", and
+// "dinar".
+func Defenses() []string {
+	return append([]string(nil), defense.StandardNames...)
+}
+
+// Datasets lists the supported dataset names (synthetic stand-ins for the
+// paper's Table 2, CPU-scaled).
+func Datasets() []string { return data.Names() }
+
+// Experiments lists the reproducible paper artifacts (table/figure IDs).
+func Experiments() []string { return experiment.IDs() }
+
+// Config describes a federated-learning run.
+type Config struct {
+	// Dataset is one of Datasets() (default "purchase100").
+	Dataset string
+	// Defense is one of Defenses() (default "dinar").
+	Defense string
+	// Clients is the number of FL participants (default 5).
+	Clients int
+	// Rounds is the number of FL rounds (default 10).
+	Rounds int
+	// LocalEpochs is the number of local epochs per round (default 5).
+	LocalEpochs int
+	// BatchSize is the local mini-batch size (default 64, as in the paper).
+	BatchSize int
+	// LearningRate is the client learning rate; 0 selects a per-optimizer
+	// default.
+	LearningRate float64
+	// Optimizer overrides the client optimizer ("sgd", "adagrad", "adam",
+	// "adamax", "rmsprop", "adgd"). Empty selects DINAR's Adagrad when
+	// Defense is "dinar" and SGD otherwise.
+	Optimizer string
+	// Records overrides the dataset's record count (0 = spec default).
+	Records int
+	// DirichletAlpha < +Inf produces a non-IID partition (§5.8); 0 means
+	// IID.
+	DirichletAlpha float64
+	// Seed makes the run fully deterministic.
+	Seed int64
+	// Parallel trains clients concurrently.
+	Parallel bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Defense == "" {
+		c.Defense = "dinar"
+	}
+	if c.Optimizer == "" {
+		if c.Defense == "dinar" {
+			c.Optimizer = "adagrad"
+		} else {
+			c.Optimizer = "sgd"
+		}
+	}
+	if c.Dataset == "" {
+		c.Dataset = "purchase100"
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = fl.DefaultLearningRate(c.Dataset, c.Optimizer)
+	}
+	if c.Clients == 0 {
+		c.Clients = 5
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 10
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 5
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.DirichletAlpha == 0 {
+		c.DirichletAlpha = math.Inf(1)
+	}
+	return c
+}
+
+// DefaultLearningRate returns the tuned learning rate for a (dataset,
+// optimizer) pair: adaptive optimizers use 0.01, SGD uses a per-dataset
+// tuned rate.
+func DefaultLearningRate(dataset, optimizer string) float64 {
+	return fl.DefaultLearningRate(dataset, optimizer)
+}
+
+// System is an assembled federation ready to train.
+type System struct {
+	cfg Config
+	sys *fl.System
+
+	finalUpdates []*fl.Update
+}
+
+// New builds a deterministic federated system from cfg.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	def, err := defense.New(cfg.Defense, cfg.Seed+7, cfg.Clients)
+	if err != nil {
+		return nil, err
+	}
+	flCfg := fl.Config{
+		Dataset:        cfg.Dataset,
+		Records:        cfg.Records,
+		Clients:        cfg.Clients,
+		Rounds:         cfg.Rounds,
+		LocalEpochs:    cfg.LocalEpochs,
+		BatchSize:      cfg.BatchSize,
+		LearningRate:   cfg.LearningRate,
+		Optimizer:      cfg.Optimizer,
+		DirichletAlpha: cfg.DirichletAlpha,
+		Seed:           cfg.Seed,
+		Parallel:       cfg.Parallel,
+	}
+	sys, err := fl.NewSystem(flCfg, def)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, sys: sys}, nil
+}
+
+// Train runs all configured rounds and installs the final (personalized)
+// models into the clients.
+func (s *System) Train(ctx context.Context) error {
+	updates, err := s.sys.Run(ctx)
+	if err != nil {
+		return err
+	}
+	s.finalUpdates = updates
+	return s.sys.FinalizeClients()
+}
+
+// Rounds returns the number of completed rounds.
+func (s *System) Rounds() int { return s.sys.Server.Round() }
+
+// Utility returns the paper's overall model utility metric: the mean test
+// accuracy of the clients' personalized models (Appendix A). Call after
+// Train.
+func (s *System) Utility() (float64, error) {
+	if s.sys.Server.Round() == 0 {
+		return 0, fmt.Errorf("dinar: Utility before Train")
+	}
+	return s.sys.MeanClientAccuracy(s.sys.Split.Test)
+}
+
+// PrivacyReport holds membership-inference outcomes; 0.5 is the optimum
+// (random attacker), higher means more leakage.
+type PrivacyReport struct {
+	// GlobalAUC is the attack AUC against the global FL model.
+	GlobalAUC float64
+	// LocalAUC is the mean attack AUC against the clients' uploaded models.
+	LocalAUC float64
+}
+
+// EvaluatePrivacy mounts the paper's shadow-model membership inference
+// attack (§5.5, [41]) against the trained system and reports attack AUCs.
+// Call after Train.
+func (s *System) EvaluatePrivacy(ctx context.Context) (*PrivacyReport, error) {
+	if s.finalUpdates == nil {
+		return nil, fmt.Errorf("dinar: EvaluatePrivacy before Train")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	run := &experiment.FLRun{Sys: s.sys, Updates: s.finalUpdates}
+	o := experiment.DefaultOptions()
+	o.Seed = s.cfg.Seed
+	o.BatchSize = s.cfg.BatchSize
+	atk, err := o.NewAttacker(run)
+	if err != nil {
+		return nil, err
+	}
+	global, err := experiment.GlobalAUC(run, atk)
+	if err != nil {
+		return nil, err
+	}
+	local, err := experiment.LocalAUC(run, atk)
+	if err != nil {
+		return nil, err
+	}
+	return &PrivacyReport{GlobalAUC: global, LocalAUC: local}, nil
+}
+
+// CostReport summarizes measured costs (Table 3's metrics).
+type CostReport struct {
+	MeanClientTrain time.Duration
+	MeanServerAgg   time.Duration
+	PeakAllocBytes  uint64
+	DefenseBytes    uint64
+}
+
+// Costs returns the run's cost metrics.
+func (s *System) Costs() CostReport {
+	r := s.sys.Meter.Report()
+	return CostReport{
+		MeanClientTrain: r.MeanClientTrain,
+		MeanServerAgg:   r.MeanServerAgg,
+		PeakAllocBytes:  r.PeakAllocBytes,
+		DefenseBytes:    r.DefenseBytes,
+	}
+}
+
+// RunExperiment regenerates one paper artifact ("table1", "fig1", "fig3",
+// "fig4", "fig5", "fig6", "fig7", "table3", "fig8", "fig9", "fig10",
+// "fig11") and returns its rendered table. quick selects a reduced
+// smoke-scale configuration.
+func RunExperiment(ctx context.Context, id string, quick bool) (string, error) {
+	o := experiment.DefaultOptions()
+	if quick {
+		o = experiment.QuickOptions()
+	}
+	tbl, err := experiment.Run(ctx, id, o)
+	if err != nil {
+		return "", err
+	}
+	return tbl.String(), nil
+}

@@ -1,0 +1,68 @@
+// Bank: a consortium of banks trains a shared customer-classification model
+// on Purchase100-like transaction indicators — the paper's cross-silo
+// banking scenario (§1, §2.1). The consortium's compliance team compares
+// every available privacy defense on three axes at once: privacy (attack
+// AUC), utility (model accuracy), and cost (training/aggregation time) —
+// i.e. a miniature of the paper's Figures 6/7 and Table 3 on one dataset.
+//
+// Run with: go run ./examples/bank
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	dinar "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	fmt.Println("Bank consortium defense comparison (purchase100, 5 banks)")
+	fmt.Println()
+	fmt.Printf("%-8s %12s %12s %14s %14s\n", "defense", "localAUC(%)", "accuracy(%)", "train/round", "aggregation")
+
+	for _, def := range dinar.Defenses() {
+		cfg := dinar.Config{
+			Dataset:     "purchase100",
+			Defense:     def,
+			Clients:     5,
+			Rounds:      6,
+			LocalEpochs: 3,
+			Records:     1000,
+			Seed:        3,
+			Parallel:    true,
+		}
+		sys, err := dinar.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := sys.Train(ctx); err != nil {
+			return err
+		}
+		acc, err := sys.Utility()
+		if err != nil {
+			return err
+		}
+		priv, err := sys.EvaluatePrivacy(ctx)
+		if err != nil {
+			return err
+		}
+		costs := sys.Costs()
+		fmt.Printf("%-8s %12.1f %12.1f %14s %14s\n",
+			def, priv.LocalAUC*100, acc*100,
+			costs.MeanClientTrain.Round(time.Millisecond),
+			costs.MeanServerAgg.Round(10*time.Microsecond))
+	}
+	fmt.Println()
+	fmt.Println("Reading: optimal privacy is 50% AUC; DINAR should reach it without the")
+	fmt.Println("accuracy loss of the DP baselines or the aggregation cost of CDP.")
+	return nil
+}

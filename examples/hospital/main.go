@@ -1,0 +1,95 @@
+// Hospital: a cross-silo federation of hospitals training a diagnosis
+// classifier on Texas100-like discharge records — the paper's motivating
+// scenario for membership privacy (knowing a record was in the training set
+// reveals that the person was a patient).
+//
+// The example demonstrates DINAR's full pipeline:
+//
+//  1. Initialization (§4.1): hospitals locally measure which model layer
+//     leaks most membership information and agree via the
+//     Byzantine-tolerant broadcast vote — here with one malicious hospital.
+//  2. An undefended federation is attacked to show the leak.
+//  3. The same federation protected by DINAR is attacked again.
+//
+// Run with: go run ./examples/hospital
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	dinar "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	base := dinar.Config{
+		Dataset:     "texas100",
+		Clients:     5,
+		Rounds:      6,
+		LocalEpochs: 3,
+		Records:     1200,
+		Seed:        7,
+		Parallel:    true,
+	}
+
+	fmt.Println("Step 1 - DINAR initialization: hospitals vote on the most privacy-sensitive layer")
+	fmt.Println("         (hospital #4 is Byzantine and votes arbitrarily)")
+	layer, err := dinar.ChoosePrivateLayer(ctx, base, []int{4})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("         consensus: obfuscate layer %d\n\n", layer)
+
+	type outcome struct {
+		acc  float64
+		priv *dinar.PrivacyReport
+	}
+	runOne := func(defense string) (*outcome, error) {
+		cfg := base
+		cfg.Defense = defense
+		sys, err := dinar.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Train(ctx); err != nil {
+			return nil, err
+		}
+		acc, err := sys.Utility()
+		if err != nil {
+			return nil, err
+		}
+		priv, err := sys.EvaluatePrivacy(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &outcome{acc: acc, priv: priv}, nil
+	}
+
+	fmt.Println("Step 2 - undefended federation")
+	plain, err := runOne("none")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("         accuracy %.1f%%  |  attack AUC: global %.1f%%, hospital uploads %.1f%%\n\n",
+		plain.acc*100, plain.priv.GlobalAUC*100, plain.priv.LocalAUC*100)
+
+	fmt.Println("Step 3 - DINAR-protected federation")
+	prot, err := runOne("dinar")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("         accuracy %.1f%%  |  attack AUC: global %.1f%%, hospital uploads %.1f%%\n\n",
+		prot.acc*100, prot.priv.GlobalAUC*100, prot.priv.LocalAUC*100)
+
+	fmt.Printf("Summary: DINAR moved the attack from %.1f%% toward the 50%% optimum while keeping accuracy (%.1f%% vs %.1f%%).\n",
+		plain.priv.GlobalAUC*100, prot.acc*100, plain.acc*100)
+	return nil
+}

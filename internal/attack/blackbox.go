@@ -1,0 +1,115 @@
+package attack
+
+import (
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ConfidenceAttack is the Yeom-style confidence MIA: membership score = the
+// model's softmax probability for the true class. Overfit models are more
+// confident on members.
+type ConfidenceAttack struct {
+	// BatchSize for evaluation passes.
+	BatchSize int
+}
+
+// NewConfidenceAttack returns a confidence-threshold attack.
+func NewConfidenceAttack() *ConfidenceAttack { return &ConfidenceAttack{BatchSize: 64} }
+
+// AUC scores by true-class confidence and returns the attack AUC in [0.5, 1].
+func (a *ConfidenceAttack) AUC(m *nn.Model, members, nonMembers *data.Dataset) (float64, error) {
+	bs := a.BatchSize
+	if bs <= 0 {
+		bs = 64
+	}
+	ms, err := trueClassConfidences(m, members, bs)
+	if err != nil {
+		return 0, err
+	}
+	ns, err := trueClassConfidences(m, nonMembers, bs)
+	if err != nil {
+		return 0, err
+	}
+	return scoreAUC(ms, ns)
+}
+
+// EntropyAttack is the Song & Mittal prediction-entropy MIA: membership
+// score = negative prediction entropy (members receive sharper, lower-entropy
+// predictions from overfit models).
+type EntropyAttack struct {
+	// BatchSize for evaluation passes.
+	BatchSize int
+}
+
+// NewEntropyAttack returns an entropy-based attack.
+func NewEntropyAttack() *EntropyAttack { return &EntropyAttack{BatchSize: 64} }
+
+// AUC scores by negative prediction entropy and returns the attack AUC in
+// [0.5, 1].
+func (a *EntropyAttack) AUC(m *nn.Model, members, nonMembers *data.Dataset) (float64, error) {
+	bs := a.BatchSize
+	if bs <= 0 {
+		bs = 64
+	}
+	ms, err := predictionEntropies(m, members, bs)
+	if err != nil {
+		return 0, err
+	}
+	ns, err := predictionEntropies(m, nonMembers, bs)
+	if err != nil {
+		return 0, err
+	}
+	negate(ms)
+	negate(ns)
+	return scoreAUC(ms, ns)
+}
+
+// trueClassConfidences evaluates the model's softmax probability of each
+// sample's true class.
+func trueClassConfidences(m *nn.Model, ds *data.Dataset, batchSize int) ([]float64, error) {
+	out := make([]float64, 0, ds.Len())
+	err := ds.Batches(batchSize, nil, func(x *tensor.Tensor, y []int) error {
+		probs := nn.Softmax(m.Forward(x, false))
+		for i, label := range y {
+			row, err := probs.Row(i)
+			if err != nil {
+				return err
+			}
+			out = append(out, row[label])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// predictionEntropies evaluates the Shannon entropy of each prediction.
+func predictionEntropies(m *nn.Model, ds *data.Dataset, batchSize int) ([]float64, error) {
+	out := make([]float64, 0, ds.Len())
+	err := ds.Batches(batchSize, nil, func(x *tensor.Tensor, y []int) error {
+		probs := nn.Softmax(m.Forward(x, false))
+		for i := range y {
+			row, err := probs.Row(i)
+			if err != nil {
+				return err
+			}
+			ent := 0.0
+			for _, p := range row {
+				if p > 1e-12 {
+					ent -= p * math.Log(p)
+				}
+			}
+			out = append(out, ent)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

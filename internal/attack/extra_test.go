@@ -1,0 +1,87 @@
+package attack
+
+import (
+	"testing"
+)
+
+func TestConfidenceAttackOnOverfitModel(t *testing.T) {
+	m, split, _ := setup(t, 25)
+	auc, err := NewConfidenceAttack().AUC(m, split.Train, split.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.60 {
+		t.Fatalf("confidence attack AUC %v on overfit model", auc)
+	}
+}
+
+func TestConfidenceAttackOnFreshModelIsChance(t *testing.T) {
+	m, split, _ := setup(t, 0)
+	auc, err := NewConfidenceAttack().AUC(m, split.Train, split.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc > 0.58 {
+		t.Fatalf("confidence attack AUC %v on fresh model", auc)
+	}
+}
+
+func TestEntropyAttackOnOverfitModel(t *testing.T) {
+	m, split, _ := setup(t, 25)
+	auc, err := NewEntropyAttack().AUC(m, split.Train, split.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.58 {
+		t.Fatalf("entropy attack AUC %v on overfit model", auc)
+	}
+}
+
+func TestGradientAttackOnOverfitModel(t *testing.T) {
+	m, split, _ := setup(t, 25)
+	atk := NewGradientAttack()
+	atk.MaxSamples = 128
+	auc, err := atk.AUC(m, split.Train, split.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.60 {
+		t.Fatalf("white-box gradient attack AUC %v on overfit model", auc)
+	}
+}
+
+func TestGradientAttackPerLayer(t *testing.T) {
+	m, split, _ := setup(t, 25)
+	// The deepest layers must individually leak membership on an overfit
+	// model (the paper's §3 premise, attacked rather than analyzed).
+	atk := NewLayerGradientAttack(m.NumLayers() - 1)
+	atk.MaxSamples = 128
+	auc, err := atk.AUC(m, split.Train, split.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.58 {
+		t.Fatalf("last-layer gradient attack AUC %v", auc)
+	}
+}
+
+func TestGradientAttackValidation(t *testing.T) {
+	m, split, _ := setup(t, 0)
+	atk := NewLayerGradientAttack(99)
+	if _, err := atk.AUC(m, split.Train, split.Test); err == nil {
+		t.Fatal("accepted out-of-range layer")
+	}
+}
+
+func TestGradientAttackOnFreshModelIsNearChance(t *testing.T) {
+	m, split, _ := setup(t, 0)
+	atk := NewGradientAttack()
+	atk.MaxSamples = 128
+	auc, err := atk.AUC(m, split.Train, split.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc > 0.60 {
+		t.Fatalf("white-box attack AUC %v on fresh model", auc)
+	}
+}

@@ -1,0 +1,149 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// The attacks below implement the paper's §6 future-work threats as
+// extensions: model inversion (reconstructing class-representative inputs
+// from a model) and property inference (inferring distribution properties
+// of a client's data from its update).
+
+// Inverter performs gradient-ascent model inversion (Fredrikson-style): it
+// synthesizes an input that maximizes the model's confidence for a target
+// class. Against FL, an attacker inverts a received model to recover what a
+// class's training data "looks like".
+type Inverter struct {
+	// Steps and LR configure the gradient ascent.
+	Steps int
+	LR    float64
+	// Seed drives the initialization.
+	Seed int64
+}
+
+// NewInverter returns an inverter with defaults tuned for the scaled
+// models.
+func NewInverter(seed int64) *Inverter {
+	return &Inverter{Steps: 120, LR: 0.5, Seed: seed}
+}
+
+// Invert reconstructs an input of the given class from the model. inputShape
+// is the per-sample shape (spec.InputShape()). It returns the synthesized
+// input and the model's final confidence for the target class.
+func (inv *Inverter) Invert(m *nn.Model, inputShape []int, class int) (*tensor.Tensor, float64, error) {
+	shape := append([]int{1}, inputShape...)
+	rng := rand.New(rand.NewSource(inv.Seed))
+	x := tensor.Randn(rng, 0, 0.1, shape...)
+	var loss nn.SoftmaxCrossEntropy
+	labels := []int{class}
+	conf := 0.0
+	for step := 0; step < inv.Steps; step++ {
+		logits := m.Forward(x, false)
+		if class < 0 || class >= logits.Dim(1) {
+			return nil, 0, fmt.Errorf("attack: class %d out of range [0,%d)", class, logits.Dim(1))
+		}
+		res, err := loss.Eval(logits, labels)
+		if err != nil {
+			return nil, 0, err
+		}
+		row, _ := res.Probs.Row(0)
+		conf = row[class]
+		// Gradient of the loss with respect to the *input*.
+		gradIn := m.Backward(res.Grad)
+		if err := x.AXPY(-inv.LR, gradIn); err != nil {
+			return nil, 0, err
+		}
+	}
+	return x, conf, nil
+}
+
+// ReconstructionScore measures how close a synthesized input is to the true
+// class prototype via normalized cosine similarity against the class mean of
+// reference samples. 1 = perfect direction match, 0 = orthogonal.
+func ReconstructionScore(synth *tensor.Tensor, reference *data.Dataset, class int) (float64, error) {
+	n := reference.Spec.InputLen()
+	mean := make([]float64, n)
+	count := 0
+	for i, y := range reference.Y {
+		if y != class {
+			continue
+		}
+		row := reference.X.Data()[i*n : (i+1)*n]
+		for j, v := range row {
+			mean[j] += v
+		}
+		count++
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("attack: no reference samples of class %d", class)
+	}
+	for j := range mean {
+		mean[j] /= float64(count)
+	}
+	sd := synth.Data()
+	if len(sd) != n {
+		return 0, fmt.Errorf("attack: synthesized input has %d values, want %d", len(sd), n)
+	}
+	var dot, ns, nm float64
+	for j := range mean {
+		dot += sd[j] * mean[j]
+		ns += sd[j] * sd[j]
+		nm += mean[j] * mean[j]
+	}
+	if ns == 0 || nm == 0 {
+		return 0, nil
+	}
+	return dot / math.Sqrt(ns*nm), nil
+}
+
+// PropertyAttack infers a distribution property of a client's training data
+// from its model update — here, the client's dominant class share, inferred
+// from the classifier-bias drift. In FL, updates reveal whether a client's
+// data over-represents a class (e.g. one hospital treating mostly one
+// condition), even when individual records stay private.
+type PropertyAttack struct{}
+
+// InferClassSkew estimates the per-class emphasis of the data behind an
+// update: the softmax of the final-layer bias drift (update − global) over
+// classes. Returns a probability-like vector summing to 1; a uniform vector
+// means no inferred skew.
+func (PropertyAttack) InferClassSkew(update, global []float64, spans []nn.Span, classes int) ([]float64, error) {
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("attack: no spans")
+	}
+	last := spans[len(spans)-1]
+	if last.Len < classes {
+		return nil, fmt.Errorf("attack: final layer too small for %d classes", classes)
+	}
+	if len(update) < last.Offset+last.Len || len(global) < last.Offset+last.Len {
+		return nil, fmt.Errorf("attack: state shorter than final span")
+	}
+	// The final dense layer stores weights then biases; the last `classes`
+	// values of its span are the biases.
+	biasOff := last.Offset + last.Len - classes
+	drift := make([]float64, classes)
+	maxDrift := math.Inf(-1)
+	for c := 0; c < classes; c++ {
+		drift[c] = update[biasOff+c] - global[biasOff+c]
+		if drift[c] > maxDrift {
+			maxDrift = drift[c]
+		}
+	}
+	// Softmax over drifts: classes whose bias grew the most are the classes
+	// the client's data emphasized.
+	sum := 0.0
+	for c := range drift {
+		drift[c] = math.Exp((drift[c] - maxDrift) * 50) // sharpen
+		sum += drift[c]
+	}
+	for c := range drift {
+		drift[c] /= sum
+	}
+	return drift, nil
+}

@@ -1,0 +1,140 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/model"
+	"repro/internal/nn"
+)
+
+func TestInverterRecoversClassDirection(t *testing.T) {
+	// Train a small model well, invert class 0, and require the synthesized
+	// input to align with class 0's prototype direction far better than with
+	// other classes'.
+	spec := data.Spec{
+		Name: "inv", Records: 200, Classes: 4,
+		Modality: data.Tabular, Features: 32, Noise: 0.05,
+	}
+	ds, err := data.GenerateN(spec, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.FCNN6(spec.Features, spec.Classes, rand.New(rand.NewSource(1)))
+	if err := trainModel(m, ds, 30, 32, 0.1, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	inv := NewInverter(7)
+	synth, conf, err := inv.Invert(m, spec.InputShape(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf < 0.8 {
+		t.Fatalf("inversion confidence %v, want > 0.8", conf)
+	}
+	own, err := ReconstructionScore(synth, ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := ReconstructionScore(synth, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if own <= other {
+		t.Fatalf("reconstruction: own-class %v <= other-class %v", own, other)
+	}
+}
+
+func TestInverterValidation(t *testing.T) {
+	m := model.FCNN6(8, 3, rand.New(rand.NewSource(1)))
+	inv := NewInverter(1)
+	inv.Steps = 1
+	if _, _, err := inv.Invert(m, []int{8}, 99); err == nil {
+		t.Fatal("accepted out-of-range class")
+	}
+}
+
+func TestReconstructionScoreErrors(t *testing.T) {
+	spec := data.Spec{
+		Name: "r", Records: 10, Classes: 2,
+		Modality: data.Tabular, Features: 4, Noise: 0.1,
+	}
+	ds, err := data.GenerateN(spec, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := NewInverter(1)
+	inv.Steps = 1
+	m := model.FCNN6(4, 2, rand.New(rand.NewSource(1)))
+	synth, _, err := inv.Invert(m, spec.InputShape(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReconstructionScore(synth, ds, 99); err == nil {
+		t.Fatal("accepted class with no reference samples")
+	}
+}
+
+func TestPropertyAttackDetectsSkew(t *testing.T) {
+	// Build a model, simulate a client whose data is all class 2 by training
+	// on a skewed shard, and check the inferred skew peaks at class 2.
+	spec := data.Spec{
+		Name: "p", Records: 300, Classes: 5,
+		Modality: data.Tabular, Features: 24, Noise: 0.05,
+	}
+	ds, err := data.GenerateN(spec, 300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard containing only class 2.
+	var idx []int
+	for i, y := range ds.Y {
+		if y == 2 {
+			idx = append(idx, i)
+		}
+	}
+	skewed := ds.Subset(idx)
+
+	m := model.FCNN6(spec.Features, spec.Classes, rand.New(rand.NewSource(1)))
+	global := m.StateVector()
+	if err := trainModel(m, skewed, 10, 16, 0.1, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	update := m.StateVector()
+
+	var pa PropertyAttack
+	skew, err := pa.InferClassSkew(update, global, m.Spans(), spec.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestClass := -1.0, -1
+	sum := 0.0
+	for c, v := range skew {
+		sum += v
+		if v > best {
+			best, bestClass = v, c
+		}
+	}
+	if bestClass != 2 {
+		t.Fatalf("inferred dominant class %d, want 2 (skew %v)", bestClass, skew)
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("skew sums to %v", sum)
+	}
+}
+
+func TestPropertyAttackValidation(t *testing.T) {
+	var pa PropertyAttack
+	if _, err := pa.InferClassSkew(nil, nil, nil, 3); err == nil {
+		t.Fatal("accepted empty spans")
+	}
+	spans := []nn.Span{{Offset: 0, Len: 2}}
+	if _, err := pa.InferClassSkew([]float64{1, 2}, []float64{1, 2}, spans, 5); err == nil {
+		t.Fatal("accepted final layer smaller than class count")
+	}
+	spans = []nn.Span{{Offset: 0, Len: 10}}
+	if _, err := pa.InferClassSkew([]float64{1}, []float64{1}, spans, 5); err == nil {
+		t.Fatal("accepted short state")
+	}
+}

@@ -1,0 +1,182 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PartitionIID divides the dataset into k disjoint, nearly-equal parts with
+// an IID class distribution (samples are assigned round-robin after a
+// shuffle).
+func PartitionIID(ds *Dataset, k int, rng *rand.Rand) ([]*Dataset, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("data: partition into %d parts", k)
+	}
+	if ds.Len() < k {
+		return nil, fmt.Errorf("data: %d samples for %d clients", ds.Len(), k)
+	}
+	perm := rng.Perm(ds.Len())
+	buckets := make([][]int, k)
+	for i, idx := range perm {
+		buckets[i%k] = append(buckets[i%k], idx)
+	}
+	parts := make([]*Dataset, k)
+	for i, b := range buckets {
+		parts[i] = ds.Subset(b)
+	}
+	return parts, nil
+}
+
+// PartitionDirichlet divides the dataset into k parts with non-IID class
+// proportions sampled from a symmetric Dirichlet(alpha) distribution, the
+// standard non-IID FL benchmark protocol used by the paper's §5.8. Smaller
+// alpha yields more skewed (more non-IID) partitions; alpha = +Inf degrades
+// to the IID partition.
+func PartitionDirichlet(ds *Dataset, k int, alpha float64, rng *rand.Rand) ([]*Dataset, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("data: partition into %d parts", k)
+	}
+	if math.IsInf(alpha, 1) {
+		return PartitionIID(ds, k, rng)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("data: dirichlet alpha %v", alpha)
+	}
+	// Group sample indices by class.
+	byClass := make([][]int, ds.Spec.Classes)
+	for i, y := range ds.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	buckets := make([][]int, k)
+	for _, idxs := range byClass {
+		if len(idxs) == 0 {
+			continue
+		}
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		props := dirichlet(rng, alpha, k)
+		// Convert proportions to cumulative cut points.
+		start := 0
+		cum := 0.0
+		for c := 0; c < k; c++ {
+			cum += props[c]
+			end := int(cum*float64(len(idxs)) + 0.5)
+			if c == k-1 {
+				end = len(idxs)
+			}
+			if end > len(idxs) {
+				end = len(idxs)
+			}
+			if end > start {
+				buckets[c] = append(buckets[c], idxs[start:end]...)
+			}
+			start = end
+		}
+	}
+	parts := make([]*Dataset, k)
+	for i, b := range buckets {
+		if len(b) == 0 {
+			// Guarantee every client at least one sample by stealing from the
+			// largest bucket; FL clients with empty datasets cannot train.
+			big := largestBucket(buckets)
+			if big == -1 || len(buckets[big]) < 2 {
+				return nil, fmt.Errorf("data: dirichlet partition produced empty client %d", i)
+			}
+			b = []int{buckets[big][len(buckets[big])-1]}
+			buckets[big] = buckets[big][:len(buckets[big])-1]
+			buckets[i] = b
+		}
+		parts[i] = ds.Subset(b)
+	}
+	return parts, nil
+}
+
+func largestBucket(buckets [][]int) int {
+	best, bestLen := -1, 1
+	for i, b := range buckets {
+		if len(b) > bestLen {
+			best, bestLen = i, len(b)
+		}
+	}
+	return best
+}
+
+// dirichlet samples a point from a symmetric Dirichlet(alpha) distribution on
+// the k-simplex using normalized Gamma(alpha, 1) draws.
+func dirichlet(rng *rand.Rand, alpha float64, k int) []float64 {
+	out := make([]float64, k)
+	sum := 0.0
+	for i := range out {
+		out[i] = gammaSample(rng, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		// Degenerate draw; fall back to uniform.
+		for i := range out {
+			out[i] = 1 / float64(k)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gammaSample draws from Gamma(shape, 1) via Marsaglia–Tsang, with the
+// standard boost for shape < 1.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// SkewMetric quantifies how non-IID a partition is: the mean total-variation
+// distance between each part's class distribution and the global class
+// distribution. 0 means perfectly IID; values near 1 mean fully disjoint
+// class assignments.
+func SkewMetric(global *Dataset, parts []*Dataset) float64 {
+	if len(parts) == 0 {
+		return 0
+	}
+	gCounts := global.ClassCounts()
+	gTotal := float64(global.Len())
+	sum := 0.0
+	for _, p := range parts {
+		pCounts := p.ClassCounts()
+		pTotal := float64(p.Len())
+		tv := 0.0
+		for c := range gCounts {
+			gp := float64(gCounts[c]) / gTotal
+			pp := 0.0
+			if pTotal > 0 {
+				pp = float64(pCounts[c]) / pTotal
+			}
+			tv += math.Abs(gp - pp)
+		}
+		sum += tv / 2
+	}
+	return sum / float64(len(parts))
+}

@@ -1,0 +1,42 @@
+package defense
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+)
+
+// StandardNames lists the defenses of the paper's Fig. 6 in presentation
+// order: the no-defense baseline, the five state-of-the-art mechanisms, and
+// DINAR. ExtendedNames adds defenses from the paper's Table 1 implemented as
+// extensions (DP-FedSAM).
+var (
+	StandardNames = []string{"none", "wdp", "ldp", "cdp", "gc", "sa", "dinar"}
+	ExtendedNames = append(append([]string(nil), StandardNames...), "dpfedsam")
+)
+
+// New constructs a defense by name. seed drives all defense randomness;
+// numClients is required by secure aggregation and ignored otherwise.
+func New(name string, seed int64, numClients int) (fl.Defense, error) {
+	switch name {
+	case "none":
+		return NewNone(), nil
+	case "ldp":
+		return NewLDP(seed), nil
+	case "cdp":
+		return NewCDP(seed), nil
+	case "wdp":
+		return NewWDP(seed), nil
+	case "gc":
+		return NewGC(), nil
+	case "sa":
+		return NewSA(seed, numClients), nil
+	case "dpfedsam":
+		return NewDPFedSAM(seed), nil
+	case "dinar":
+		return core.New(seed), nil
+	default:
+		return nil, fmt.Errorf("defense: unknown defense %q (have %v)", name, StandardNames)
+	}
+}

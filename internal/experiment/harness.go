@@ -1,0 +1,314 @@
+// Package experiment implements one runner per table and figure of the
+// paper's evaluation (§5). Each runner assembles the FL system, defenses,
+// attacks and metrics needed for that experiment, executes it at a
+// CPU-scaled configuration, and returns both structured results (for tests
+// and benchmarks) and a printable table with the same rows/series the paper
+// reports.
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"repro/internal/attack"
+	"repro/internal/data"
+	"repro/internal/defense"
+	"repro/internal/fl"
+	"repro/internal/model"
+	"repro/internal/nn"
+)
+
+// Options are the shared experiment knobs. The zero value is invalid; use
+// DefaultOptions (full scaled runs) or QuickOptions (fast smoke-scale runs
+// for tests).
+type Options struct {
+	// Seed drives everything deterministically.
+	Seed int64
+	// Records overrides each dataset's record count (0 = spec default).
+	Records int
+	// Clients, Rounds, LocalEpochs, BatchSize, LearningRate configure the FL
+	// system (zero values fall back to fl.Config defaults).
+	Clients      int
+	Rounds       int
+	LocalEpochs  int
+	BatchSize    int
+	LearningRate float64
+	// AdaptiveLearningRate is the learning rate used with adaptive
+	// optimizers (Adagrad and the §5.11 ablation variants), whose effective
+	// per-coordinate step starts near the raw rate and therefore needs a
+	// smaller value than SGD.
+	AdaptiveLearningRate float64
+	// UseShadowAttack selects the Shokri shadow-model MIA; false selects the
+	// cheaper loss-threshold MIA.
+	UseShadowAttack bool
+	// ShadowEpochs configures shadow-model training when UseShadowAttack.
+	ShadowEpochs int
+	// Parallel trains FL clients concurrently.
+	Parallel bool
+}
+
+// DefaultOptions returns the standard scaled experiment configuration.
+func DefaultOptions() Options {
+	return Options{
+		Seed:                 1,
+		Records:              1200,
+		Clients:              5,
+		Rounds:               8,
+		LocalEpochs:          4,
+		BatchSize:            32,
+		LearningRate:         0, // per-dataset tuned SGD rate
+		AdaptiveLearningRate: 0.01,
+		UseShadowAttack:      true,
+		ShadowEpochs:         20,
+		Parallel:             true,
+	}
+}
+
+// QuickOptions returns a reduced configuration for tests and smoke runs.
+func QuickOptions() Options {
+	return Options{
+		Seed:                 1,
+		Records:              500,
+		Clients:              3,
+		Rounds:               3,
+		LocalEpochs:          2,
+		BatchSize:            32,
+		LearningRate:         0, // per-dataset tuned SGD rate
+		AdaptiveLearningRate: 0.01,
+		ShadowEpochs:         8,
+		Parallel:             true,
+	}
+}
+
+// adaptiveOptimizers are the optimizers that use AdaptiveLearningRate.
+var adaptiveOptimizers = map[string]bool{
+	"adagrad": true, "adam": true, "adamax": true, "rmsprop": true, "adgd": true,
+}
+
+// flConfig converts Options to an fl.Config for the given dataset.
+func (o Options) flConfig(dataset, optimizer string) fl.Config {
+	lr := fl.DefaultLearningRate(dataset, optimizer)
+	if adaptiveOptimizers[optimizer] {
+		if o.AdaptiveLearningRate > 0 {
+			lr = o.AdaptiveLearningRate
+		}
+	} else if o.LearningRate > 0 {
+		lr = o.LearningRate
+	}
+	return fl.Config{
+		Dataset:      dataset,
+		Records:      o.Records,
+		Clients:      o.Clients,
+		Rounds:       o.Rounds,
+		LocalEpochs:  o.LocalEpochs,
+		BatchSize:    o.BatchSize,
+		LearningRate: lr,
+		Optimizer:    optimizer,
+		Seed:         o.Seed,
+		Parallel:     o.Parallel,
+	}
+}
+
+// optimizerFor returns the client optimizer a defense runs with: DINAR uses
+// its adaptive gradient descent (Algorithm 1), baselines use SGD.
+func optimizerFor(defenseName string) string {
+	switch {
+	case strings.HasPrefix(defenseName, "dinar"):
+		// Includes robust-wrapped variants ("dinar+robust").
+		return "adagrad"
+	case strings.HasPrefix(defenseName, "dpfedsam"):
+		return "sam" // sharpness-aware minimization is part of the method
+	default:
+		return "sgd"
+	}
+}
+
+// FLRun bundles everything an experiment needs after federated training.
+type FLRun struct {
+	Sys     *fl.System
+	Updates []*fl.Update // final-round post-defense uploads
+}
+
+// RunFL builds the system for (dataset, defenseName), trains it to
+// completion, and finalizes clients (personalized models installed).
+func RunFL(ctx context.Context, o Options, dataset, defenseName string) (*FLRun, error) {
+	def, err := defense.New(defenseName, o.Seed+7, o.Clients)
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.flConfig(dataset, optimizerFor(defenseName))
+	sys, err := fl.NewSystem(cfg, def)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s/%s: %w", dataset, defenseName, err)
+	}
+	updates, err := sys.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s/%s run: %w", dataset, defenseName, err)
+	}
+	if err := sys.FinalizeClients(); err != nil {
+		return nil, err
+	}
+	return &FLRun{Sys: sys, Updates: updates}, nil
+}
+
+// RunFLWithDefense is RunFL with an explicitly constructed defense (used by
+// sweeps that need non-registry configurations, e.g. DINAR with custom layer
+// sets or LDP with custom budgets).
+func RunFLWithDefense(ctx context.Context, o Options, dataset string, def fl.Defense) (*FLRun, error) {
+	cfg := o.flConfig(dataset, optimizerFor(def.Name()))
+	sys, err := fl.NewSystem(cfg, def)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s/%s: %w", dataset, def.Name(), err)
+	}
+	updates, err := sys.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s/%s run: %w", dataset, def.Name(), err)
+	}
+	if err := sys.FinalizeClients(); err != nil {
+		return nil, err
+	}
+	return &FLRun{Sys: sys, Updates: updates}, nil
+}
+
+// runConfigured runs an explicit fl.Config with an explicit defense — the
+// lowest-level runner, used by sweeps that tweak config fields directly
+// (non-IID alpha, optimizer override).
+func runConfigured(ctx context.Context, cfg fl.Config, def fl.Defense) (*FLRun, error) {
+	sys, err := fl.NewSystem(cfg, def)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s/%s: %w", cfg.Dataset, def.Name(), err)
+	}
+	updates, err := sys.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s/%s run: %w", cfg.Dataset, def.Name(), err)
+	}
+	if err := sys.FinalizeClients(); err != nil {
+		return nil, err
+	}
+	return &FLRun{Sys: sys, Updates: updates}, nil
+}
+
+// ModelFromState constructs the dataset's architecture and loads a state
+// vector into it (how an attacker materializes an observed model).
+func ModelFromState(spec data.Spec, state []float64, seed int64) (*nn.Model, error) {
+	m, err := model.Build(spec, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetStateVector(state); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Attacker is the common surface of the loss-threshold and shadow-model
+// MIAs.
+type Attacker interface {
+	AUC(m *nn.Model, members, nonMembers *data.Dataset) (float64, error)
+}
+
+// attackerCache memoizes fitted shadow attacks. The attacker's shadow
+// models depend only on the dataset, its splits (derived from the seed), and
+// the shadow training configuration — never on the defense under test — so
+// sweeping seven defenses over one dataset needs exactly one fit.
+var attackerCache sync.Map // attackerKey -> *attack.ShadowAttack
+
+type attackerKey struct {
+	dataset      string
+	records      int
+	noiseMilli   int64
+	seed         int64
+	shadowEpochs int
+}
+
+// NewAttacker builds (and, for the shadow attack, fits) the configured MIA
+// for the given run. Fitted shadow attacks are cached per dataset
+// configuration.
+func (o Options) NewAttacker(run *FLRun) (Attacker, error) {
+	if !o.UseShadowAttack {
+		return attack.NewLossAttack(), nil
+	}
+	spec := run.Sys.Spec()
+	key := attackerKey{
+		dataset:      spec.Name,
+		records:      spec.Records,
+		noiseMilli:   int64(spec.Noise * 1000),
+		seed:         o.Seed,
+		shadowEpochs: o.ShadowEpochs,
+	}
+	if cached, ok := attackerCache.Load(key); ok {
+		return cached.(*attack.ShadowAttack), nil
+	}
+	atk := attack.NewShadowAttack(o.Seed + 77)
+	if o.ShadowEpochs > 0 {
+		atk.Epochs = o.ShadowEpochs
+	}
+	build := func(rng *rand.Rand) (*nn.Model, error) { return model.Build(spec, rng) }
+	if err := atk.Fit(run.Sys.Split.Attacker, build); err != nil {
+		return nil, fmt.Errorf("experiment: fit shadow attack: %w", err)
+	}
+	attackerCache.Store(key, atk)
+	return atk, nil
+}
+
+// GlobalAUC attacks the final global model: members are the federation's
+// training pool, non-members the held-out test pool (Appendix A, first
+// privacy metric).
+func GlobalAUC(run *FLRun, atk Attacker) (float64, error) {
+	spec := run.Sys.Spec()
+	m, err := ModelFromState(spec, run.Sys.Server.GlobalState(), 999)
+	if err != nil {
+		return 0, err
+	}
+	return atk.AUC(m, run.Sys.Split.Train, run.Sys.Split.Test)
+}
+
+// LocalAUC attacks each client's uploaded (post-defense) model with that
+// client's shard as members and averages the AUCs (Appendix A, second
+// privacy metric — what a server-side attacker achieves).
+func LocalAUC(run *FLRun, atk Attacker) (float64, error) {
+	spec := run.Sys.Spec()
+	sum := 0.0
+	for _, u := range run.Updates {
+		state := u.State
+		// Secure aggregation pre-scales uploads by the sample count; a
+		// server-side attacker would also see that scale and divide it out.
+		if u.NumSamples > 0 && run.Sys.Defense.Name() == "sa" {
+			state = append([]float64(nil), state...)
+			inv := 1.0 / float64(u.NumSamples)
+			for j := range state {
+				state[j] *= inv
+			}
+		}
+		m, err := ModelFromState(spec, state, 998)
+		if err != nil {
+			return 0, err
+		}
+		auc, err := atk.AUC(m, run.Sys.Shards[u.ClientID], run.Sys.Split.Test)
+		if err != nil {
+			return 0, err
+		}
+		sum += auc
+	}
+	return sum / float64(len(run.Updates)), nil
+}
+
+// Utility returns the paper's overall model utility metric: the mean
+// accuracy of the clients' (personalized) models on the test pool.
+func Utility(run *FLRun) (float64, error) {
+	return run.Sys.MeanClientAccuracy(run.Sys.Split.Test)
+}
+
+// pct renders a fraction as a percentage value (e.g. 0.5 -> 50.0).
+func pct(v float64) float64 { return v * 100 }
+
+// lookupSpec resolves a dataset name to its spec.
+func lookupSpec(dataset string) (data.Spec, error) { return data.Lookup(dataset) }
+
+// buildModel constructs the dataset's model architecture with a seeded RNG.
+func buildModel(spec data.Spec, seed int64) (*nn.Model, error) {
+	return model.Build(spec, rand.New(rand.NewSource(seed)))
+}

@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Runner regenerates one paper artifact and returns its printable table.
+type Runner func(ctx context.Context, o Options) (*metrics.Table, error)
+
+// Registry maps experiment IDs (table/figure numbers) to runners. Every row
+// of DESIGN.md's per-experiment index appears here.
+var Registry = map[string]Runner{
+	"table1": func(_ context.Context, _ Options) (*metrics.Table, error) {
+		return Table1Table(), nil
+	},
+	"fig1": func(ctx context.Context, o Options) (*metrics.Table, error) {
+		r, err := Fig1(ctx, o)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"fig3": func(ctx context.Context, o Options) (*metrics.Table, error) {
+		r, err := Fig3(ctx, o, "")
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"fig4": func(ctx context.Context, o Options) (*metrics.Table, error) {
+		r, err := Fig4(ctx, o, "")
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"fig5": func(ctx context.Context, o Options) (*metrics.Table, error) {
+		r, err := Fig5(ctx, o, "")
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"fig6": func(ctx context.Context, o Options) (*metrics.Table, error) {
+		r, err := Fig6(ctx, o, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"fig7": func(ctx context.Context, o Options) (*metrics.Table, error) {
+		r, err := Fig6(ctx, o, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Fig7Table(), nil
+	},
+	"table3": func(ctx context.Context, o Options) (*metrics.Table, error) {
+		r, err := Table3(ctx, o, "", nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"fig8": func(ctx context.Context, o Options) (*metrics.Table, error) {
+		r, err := Fig8(ctx, o, "", nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"fig9": func(ctx context.Context, o Options) (*metrics.Table, error) {
+		r, err := Fig9(ctx, o, "", nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"fig10": func(ctx context.Context, o Options) (*metrics.Table, error) {
+		r, err := Fig10(ctx, o, "", nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"fig11": func(ctx context.Context, o Options) (*metrics.Table, error) {
+		r, err := Fig11(ctx, o, "", nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	// Extensions beyond the paper's artifacts: ablations of design choices
+	// DESIGN.md calls out.
+	"ablation-obf": func(ctx context.Context, o Options) (*metrics.Table, error) {
+		r, err := AblationObfuscation(ctx, o, "")
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"ablation-robust": func(ctx context.Context, o Options) (*metrics.Table, error) {
+		r, err := AblationRobust(ctx, o, "")
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given ID.
+func Run(ctx context.Context, id string, o Options) (*metrics.Table, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
+	}
+	return r(ctx, o)
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import "repro/internal/metrics"
+
+// Table1Row is one method's qualitative properties in the paper's Table 1
+// taxonomy.
+type Table1Row struct {
+	Category string
+	Method   string
+	Privacy  string // model privacy
+	Utility  string // model utility
+	Overhead string // negligible overhead
+	InRepo   bool   // implemented in this repository
+}
+
+// Table1 returns the paper's Table 1 (comparison of FL privacy-preserving
+// methods). It is a static taxonomy; the last column records which methods
+// this repository implements as executable baselines.
+func Table1() []Table1Row {
+	yes, no, noNo := "yes", "no", "no (severe)"
+	return []Table1Row{
+		{"Cryptography", "PEFL", yes, yes, noNo, false},
+		{"Cryptography", "HybridAlpha", yes, yes, noNo, false},
+		{"Cryptography", "Chen et al.", yes, yes, noNo, false},
+		{"Cryptography", "Secure Aggregation", yes, yes, no, true},
+		{"TEE", "MixNN", yes, yes, noNo, false},
+		{"TEE", "GradSec", yes, yes, noNo, false},
+		{"TEE", "PPFL", yes, yes, noNo, false},
+		{"Perturbation", "CDP", yes, no, no, true},
+		{"Perturbation", "LDP", yes, no, no, true},
+		{"Perturbation", "FedGP", yes, no, no, false},
+		{"Perturbation", "WDP", no, yes, no, true},
+		{"Perturbation", "PFA", yes, yes, no, false},
+		{"Perturbation", "MR-MTL", no, yes, no, false},
+		{"Perturbation", "DP-FedSAM", yes, yes, no, false},
+		{"Perturbation", "PrivateFL", no, yes, no, false},
+		{"Gradient compression", "Fu et al. (GC)", yes, yes, no, true},
+		{"Our method", "DINAR", yes, yes, yes, true},
+	}
+}
+
+// Table1Table renders the taxonomy.
+func Table1Table() *metrics.Table {
+	t := metrics.NewTable("Table 1: comparison of FL privacy-preserving methods",
+		"Category", "Method", "Model privacy", "Model utility", "Negligible overhead", "Runnable here")
+	for _, r := range Table1() {
+		runnable := ""
+		if r.InRepo {
+			runnable = "yes"
+		}
+		t.AddRow(r.Category, r.Method, r.Privacy, r.Utility, r.Overhead, runnable)
+	}
+	return t
+}

@@ -1,0 +1,184 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// Client is one FL participant: a local model, a private dataset shard, and
+// an optimizer. The defense pipeline wraps its download/upload paths.
+type Client struct {
+	// ID is the client's index in the federation.
+	ID int
+	// Model is the client's local model instance.
+	Model *nn.Model
+	// Data is the client's private training shard.
+	Data *data.Dataset
+	// Optimizer drives local updates; DINAR uses Adagrad (Algorithm 1).
+	Optimizer optim.Optimizer
+	// BatchSize and LocalEpochs configure local training.
+	BatchSize   int
+	LocalEpochs int
+
+	loss nn.SoftmaxCrossEntropy
+	rng  *rand.Rand
+}
+
+// NewClient builds a client. The rng seeds batch shuffling and must be unique
+// per client for IID batch orders.
+func NewClient(id int, m *nn.Model, ds *data.Dataset, opt optim.Optimizer, batchSize, localEpochs int, rng *rand.Rand) (*Client, error) {
+	if m == nil || ds == nil || opt == nil {
+		return nil, fmt.Errorf("fl: client %d missing model/data/optimizer", id)
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("fl: client %d has no data", id)
+	}
+	if batchSize <= 0 || localEpochs <= 0 {
+		return nil, fmt.Errorf("fl: client %d batchSize=%d localEpochs=%d", id, batchSize, localEpochs)
+	}
+	return &Client{
+		ID:          id,
+		Model:       m,
+		Data:        ds,
+		Optimizer:   opt,
+		BatchSize:   batchSize,
+		LocalEpochs: localEpochs,
+		rng:         rng,
+	}, nil
+}
+
+// Install loads the (defense-transformed) global state into the local model.
+func (c *Client) Install(state []float64) error {
+	return c.Model.SetStateVector(state)
+}
+
+// TrainLocal runs LocalEpochs epochs of mini-batch training and returns the
+// mean loss of the final epoch. Algorithm 1 resets the adaptive-gradient
+// accumulator at the start of each round (line 8: G ← 0), which Reset
+// implements.
+func (c *Client) TrainLocal() (float64, error) {
+	c.Optimizer.Reset()
+	params, grads := c.Model.Params(), c.Model.Grads()
+	var lastEpochLoss float64
+	for epoch := 0; epoch < c.LocalEpochs; epoch++ {
+		var sum float64
+		var batches int
+		err := c.Data.Batches(c.BatchSize, c.rng, func(x *tensor.Tensor, y []int) error {
+			out := c.Model.Forward(x, true)
+			res, err := c.loss.Eval(out, y)
+			if err != nil {
+				return fmt.Errorf("client %d: %w", c.ID, err)
+			}
+			c.Model.Backward(res.Grad)
+			if two, ok := c.Optimizer.(optim.TwoPhase); ok {
+				// Sharpness-aware minimization: re-evaluate the gradient at
+				// the perturbed parameters before the real update.
+				if two.FirstStep(params, grads) {
+					out = c.Model.Forward(x, true)
+					res2, err := c.loss.Eval(out, y)
+					if err != nil {
+						return fmt.Errorf("client %d: %w", c.ID, err)
+					}
+					c.Model.Backward(res2.Grad)
+				}
+				two.SecondStep(params, grads)
+			} else {
+				c.Optimizer.Step(params, grads)
+			}
+			sum += res.Mean
+			batches++
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		if batches > 0 {
+			lastEpochLoss = sum / float64(batches)
+		}
+	}
+	return lastEpochLoss, nil
+}
+
+// RunRound executes one full client round against the defense pipeline:
+// personalize/install, train, protect, and return the upload. meter may be
+// nil.
+func (c *Client) RunRound(round int, globalState []float64, def Defense, meter *metrics.CostMeter) (*Update, error) {
+	state := def.OnGlobalModel(c.ID, round, globalState)
+	if err := c.Install(state); err != nil {
+		return nil, fmt.Errorf("client %d install: %w", c.ID, err)
+	}
+	start := time.Now()
+	if _, err := c.TrainLocal(); err != nil {
+		return nil, err
+	}
+	u := &Update{
+		ClientID:   c.ID,
+		Round:      round,
+		State:      c.Model.StateVector(),
+		NumSamples: c.Data.Len(),
+	}
+	def.BeforeUpload(round, globalState, u)
+	if meter != nil {
+		meter.AddClientTrain(time.Since(start))
+		meter.SampleMemory()
+	}
+	return u, nil
+}
+
+// Evaluate computes accuracy and mean loss of the client's current
+// (personalized) model on ds in evaluation mode.
+func (c *Client) Evaluate(ds *data.Dataset) (accuracy, meanLoss float64, err error) {
+	return EvaluateModel(c.Model, ds, c.BatchSize)
+}
+
+// EvaluateModel computes accuracy and mean loss of a model over a dataset in
+// evaluation mode.
+func EvaluateModel(m *nn.Model, ds *data.Dataset, batchSize int) (accuracy, meanLoss float64, err error) {
+	var loss nn.SoftmaxCrossEntropy
+	var correct, total int
+	var lossSum float64
+	err = ds.Batches(batchSize, nil, func(x *tensor.Tensor, y []int) error {
+		out := m.Forward(x, false)
+		res, lerr := loss.Eval(out, y)
+		if lerr != nil {
+			return lerr
+		}
+		correct += int(nn.Accuracy(out, y)*float64(len(y)) + 0.5)
+		for _, l := range res.PerSample {
+			lossSum += l
+		}
+		total += len(y)
+		return nil
+	})
+	if err != nil || total == 0 {
+		return 0, 0, err
+	}
+	return float64(correct) / float64(total), lossSum / float64(total), nil
+}
+
+// PerSampleLosses returns the model's evaluation-mode per-sample losses over
+// ds — the attacker-observable signal behind loss-based MIAs and Fig. 3.
+func PerSampleLosses(m *nn.Model, ds *data.Dataset, batchSize int) ([]float64, error) {
+	var loss nn.SoftmaxCrossEntropy
+	out := make([]float64, 0, ds.Len())
+	err := ds.Batches(batchSize, nil, func(x *tensor.Tensor, y []int) error {
+		logits := m.Forward(x, false)
+		res, lerr := loss.Eval(logits, y)
+		if lerr != nil {
+			return lerr
+		}
+		out = append(out, res.PerSample...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

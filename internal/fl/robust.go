@@ -1,0 +1,127 @@
+package fl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Robust aggregation rules. DINAR's initialization already assumes Byzantine
+// participants (§4.1); these aggregators extend the same assumption to the
+// learning rounds: a minority of corrupted clients cannot hijack the global
+// model through crafted updates. They compose with any client-side defense.
+
+// Median computes the coordinate-wise median of the updates' state vectors.
+// It tolerates up to ⌈N/2⌉−1 arbitrarily corrupted updates per coordinate.
+func Median(updates []*Update) ([]float64, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("fl: median of zero updates")
+	}
+	n := len(updates[0].State)
+	for _, u := range updates {
+		if len(u.State) != n {
+			return nil, fmt.Errorf("fl: update from client %d has %d values, want %d", u.ClientID, len(u.State), n)
+		}
+	}
+	out := make([]float64, n)
+	column := make([]float64, len(updates))
+	for i := 0; i < n; i++ {
+		for j, u := range updates {
+			column[j] = u.State[i]
+		}
+		sort.Float64s(column)
+		mid := len(column) / 2
+		if len(column)%2 == 1 {
+			out[i] = column[mid]
+		} else {
+			out[i] = (column[mid-1] + column[mid]) / 2
+		}
+	}
+	return out, nil
+}
+
+// TrimmedMean computes the coordinate-wise mean after discarding the trim
+// smallest and trim largest values per coordinate. It requires
+// 2·trim < len(updates).
+func TrimmedMean(updates []*Update, trim int) ([]float64, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("fl: trimmed mean of zero updates")
+	}
+	if trim < 0 || 2*trim >= len(updates) {
+		return nil, fmt.Errorf("fl: trim %d with %d updates", trim, len(updates))
+	}
+	n := len(updates[0].State)
+	for _, u := range updates {
+		if len(u.State) != n {
+			return nil, fmt.Errorf("fl: update from client %d has %d values, want %d", u.ClientID, len(u.State), n)
+		}
+	}
+	out := make([]float64, n)
+	column := make([]float64, len(updates))
+	kept := float64(len(updates) - 2*trim)
+	for i := 0; i < n; i++ {
+		for j, u := range updates {
+			column[j] = u.State[i]
+		}
+		sort.Float64s(column)
+		s := 0.0
+		for _, v := range column[trim : len(column)-trim] {
+			s += v
+		}
+		out[i] = s / kept
+	}
+	return out, nil
+}
+
+// RobustRule selects a robust aggregation rule.
+type RobustRule int
+
+// Supported robust rules.
+const (
+	RuleMedian RobustRule = iota + 1
+	RuleTrimmedMean
+)
+
+// RobustDefense wraps any defense, replacing its server-side aggregation
+// with a Byzantine-robust rule while keeping the client-side hooks (DINAR's
+// personalization/obfuscation, DP noise, ...) untouched.
+type RobustDefense struct {
+	// Inner is the wrapped defense.
+	Inner Defense
+	// Rule selects the aggregation rule (default RuleMedian).
+	Rule RobustRule
+	// Trim is the per-side trim count for RuleTrimmedMean.
+	Trim int
+}
+
+var _ Defense = (*RobustDefense)(nil)
+
+// NewRobust wraps a defense with coordinate-wise-median aggregation.
+func NewRobust(inner Defense) *RobustDefense {
+	return &RobustDefense{Inner: inner, Rule: RuleMedian}
+}
+
+// Name implements Defense.
+func (r *RobustDefense) Name() string { return r.Inner.Name() + "+robust" }
+
+// Bind implements Defense.
+func (r *RobustDefense) Bind(info ModelInfo) error { return r.Inner.Bind(info) }
+
+// OnGlobalModel implements Defense.
+func (r *RobustDefense) OnGlobalModel(clientID, round int, global []float64) []float64 {
+	return r.Inner.OnGlobalModel(clientID, round, global)
+}
+
+// BeforeUpload implements Defense.
+func (r *RobustDefense) BeforeUpload(round int, global []float64, u *Update) {
+	r.Inner.BeforeUpload(round, global, u)
+}
+
+// Aggregate implements Defense with the robust rule.
+func (r *RobustDefense) Aggregate(_ int, _ []float64, updates []*Update) ([]float64, error) {
+	switch r.Rule {
+	case RuleTrimmedMean:
+		return TrimmedMean(updates, r.Trim)
+	default:
+		return Median(updates)
+	}
+}

@@ -1,0 +1,138 @@
+package fl
+
+import (
+	"math"
+	"testing"
+)
+
+func mkUpdates(states ...[]float64) []*Update {
+	out := make([]*Update, len(states))
+	for i, s := range states {
+		out[i] = &Update{ClientID: i, State: s, NumSamples: 1}
+	}
+	return out
+}
+
+func TestMedianOdd(t *testing.T) {
+	got, err := Median(mkUpdates(
+		[]float64{1, 10},
+		[]float64{2, 20},
+		[]float64{100, -5},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 10 {
+		t.Fatalf("median = %v", got)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	got, err := Median(mkUpdates(
+		[]float64{1},
+		[]float64{3},
+		[]float64{5},
+		[]float64{100},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 4 {
+		t.Fatalf("median = %v", got)
+	}
+}
+
+func TestMedianResistsOutlier(t *testing.T) {
+	// One Byzantine update with huge values must not move the aggregate far.
+	honest := [][]float64{{1, 1}, {1.1, 0.9}, {0.9, 1.1}}
+	byz := []float64{1e9, -1e9}
+	got, err := Median(mkUpdates(honest[0], honest[1], honest[2], byz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if math.Abs(v-1) > 0.2 {
+			t.Fatalf("median hijacked: %v", got)
+		}
+	}
+}
+
+func TestMedianErrors(t *testing.T) {
+	if _, err := Median(nil); err == nil {
+		t.Fatal("accepted zero updates")
+	}
+	if _, err := Median(mkUpdates([]float64{1}, []float64{1, 2})); err == nil {
+		t.Fatal("accepted mismatched updates")
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	got, err := TrimmedMean(mkUpdates(
+		[]float64{-100},
+		[]float64{1},
+		[]float64{2},
+		[]float64{3},
+		[]float64{100},
+	), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("trimmed mean = %v", got)
+	}
+}
+
+func TestTrimmedMeanErrors(t *testing.T) {
+	u := mkUpdates([]float64{1}, []float64{2})
+	if _, err := TrimmedMean(nil, 0); err == nil {
+		t.Fatal("accepted zero updates")
+	}
+	if _, err := TrimmedMean(u, 1); err == nil {
+		t.Fatal("accepted trim >= half")
+	}
+	if _, err := TrimmedMean(u, -1); err == nil {
+		t.Fatal("accepted negative trim")
+	}
+	if _, err := TrimmedMean(mkUpdates([]float64{1}, []float64{1, 2}, []float64{3, 4}), 1); err == nil {
+		t.Fatal("accepted mismatched updates")
+	}
+}
+
+func TestRobustDefenseWrapsInner(t *testing.T) {
+	inner := &noneDefense{}
+	r := NewRobust(inner)
+	if r.Name() != "none+robust" {
+		t.Fatalf("name = %q", r.Name())
+	}
+	if err := r.Bind(ModelInfo{NumParams: 1, NumState: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Aggregation uses the median, not FedAvg.
+	got, err := r.Aggregate(0, nil, mkUpdates([]float64{1}, []float64{2}, []float64{300}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("robust aggregate = %v", got)
+	}
+	// Trimmed-mean rule.
+	r.Rule = RuleTrimmedMean
+	r.Trim = 1
+	got, err = r.Aggregate(0, nil, mkUpdates([]float64{1}, []float64{2}, []float64{300}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("trimmed aggregate = %v", got)
+	}
+	// Client-side hooks delegate to the inner defense (identity here).
+	out := r.OnGlobalModel(0, 0, []float64{5})
+	if out[0] != 5 {
+		t.Fatal("OnGlobalModel not delegated")
+	}
+	u := &Update{State: []float64{5}}
+	r.BeforeUpload(0, []float64{5}, u)
+	if u.State[0] != 5 {
+		t.Fatal("BeforeUpload not delegated")
+	}
+}

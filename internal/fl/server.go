@@ -1,0 +1,69 @@
+package fl
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Server is the FL aggregation server. It owns the global model state vector
+// and applies the defense's server-side aggregation rule each round.
+type Server struct {
+	state []float64
+	def   Defense
+	meter *metrics.CostMeter
+	round int
+}
+
+// NewServer returns a server whose initial global state is a copy of initial.
+// meter may be nil.
+func NewServer(initial []float64, def Defense, meter *metrics.CostMeter) (*Server, error) {
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("fl: server needs a non-empty initial state")
+	}
+	if def == nil {
+		return nil, fmt.Errorf("fl: server needs a defense (use defense.None for the baseline)")
+	}
+	return &Server{
+		state: append([]float64(nil), initial...),
+		def:   def,
+		meter: meter,
+	}, nil
+}
+
+// GlobalState returns a copy of the current global model state.
+func (s *Server) GlobalState() []float64 {
+	return append([]float64(nil), s.state...)
+}
+
+// Round returns the number of completed aggregation rounds.
+func (s *Server) Round() int { return s.round }
+
+// Aggregate folds the round's client updates into a new global state via the
+// defense's aggregation rule and advances the round counter.
+func (s *Server) Aggregate(updates []*Update) error {
+	if len(updates) == 0 {
+		return fmt.Errorf("fl: round %d received no updates", s.round)
+	}
+	for _, u := range updates {
+		if len(u.State) != len(s.state) {
+			return fmt.Errorf("fl: round %d update from client %d has %d values, want %d",
+				s.round, u.ClientID, len(u.State), len(s.state))
+		}
+	}
+	start := time.Now()
+	next, err := s.def.Aggregate(s.round, s.state, updates)
+	if err != nil {
+		return fmt.Errorf("fl: round %d aggregate: %w", s.round, err)
+	}
+	if len(next) != len(s.state) {
+		return fmt.Errorf("fl: defense %q returned %d values, want %d", s.def.Name(), len(next), len(s.state))
+	}
+	if s.meter != nil {
+		s.meter.AddServerAgg(time.Since(start))
+	}
+	s.state = next
+	s.round++
+	return nil
+}

@@ -1,0 +1,297 @@
+package fl
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/optim"
+)
+
+// Config describes a complete in-process FL experiment.
+type Config struct {
+	// Dataset names a registered dataset spec (internal/data.Registry).
+	Dataset string
+	// Records overrides the spec's default record count when > 0.
+	Records int
+	// Clients is the number of FL participants (paper: 5, or 10 for
+	// Purchase100).
+	Clients int
+	// Rounds is the number of FL rounds.
+	Rounds int
+	// LocalEpochs is the number of local epochs per round (paper: 5, or 10
+	// for Purchase100).
+	LocalEpochs int
+	// BatchSize is the local mini-batch size (paper: 64).
+	BatchSize int
+	// LearningRate is the client learning rate (paper: 1e-3; our scaled
+	// models use larger rates, set per experiment).
+	LearningRate float64
+	// Optimizer names the client optimizer: sgd, adagrad, adam, adamax,
+	// rmsprop, adgd. DINAR uses adagrad.
+	Optimizer string
+	// DirichletAlpha controls the non-IID partition; +Inf (or 0, the zero
+	// value, treated as +Inf) means IID.
+	DirichletAlpha float64
+	// Participation is the fraction of clients selected each round in
+	// (0, 1]; 0 (the zero value) means full participation, the paper's
+	// setting.
+	Participation float64
+	// Seed makes the whole experiment deterministic.
+	Seed int64
+	// Parallel trains clients concurrently when true.
+	Parallel bool
+}
+
+// withDefaults fills unset fields with the paper's §5.3 defaults, scaled.
+func (c Config) withDefaults() Config {
+	if c.Clients == 0 {
+		c.Clients = 5
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 10
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 5
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.01
+	}
+	if c.Optimizer == "" {
+		c.Optimizer = "sgd"
+	}
+	if c.DirichletAlpha == 0 {
+		c.DirichletAlpha = math.Inf(1)
+	}
+	if c.Participation == 0 {
+		c.Participation = 1
+	}
+	return c
+}
+
+// System is an assembled in-process federation: one server, N clients, the
+// shared defense, and the data splits needed for evaluation and attacks.
+type System struct {
+	Config  Config
+	Server  *Server
+	Clients []*Client
+	Defense Defense
+	Meter   *metrics.CostMeter
+
+	// Split holds the attacker/train/test pools (paper §5.1 protocol).
+	Split *data.FLSplit
+	// Shards holds each client's training shard (aligned with Clients).
+	Shards []*data.Dataset
+
+	spec data.Spec
+}
+
+// NewSystem generates data, partitions it, builds per-client models, and
+// wires the defense. The same Seed yields a bit-identical system.
+func NewSystem(cfg Config, def Defense) (*System, error) {
+	cfg = cfg.withDefaults()
+	if def == nil {
+		return nil, fmt.Errorf("fl: nil defense (use defense.None for the baseline)")
+	}
+	spec, err := data.Lookup(cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Records > 0 {
+		spec.Records = cfg.Records
+	}
+	ds, err := data.Generate(spec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	split := data.NewFLSplit(ds, rng)
+
+	var shards []*data.Dataset
+	if math.IsInf(cfg.DirichletAlpha, 1) {
+		shards, err = data.PartitionIID(split.Train, cfg.Clients, rng)
+	} else {
+		shards, err = data.PartitionDirichlet(split.Train, cfg.Clients, cfg.DirichletAlpha, rng)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fl: partition: %w", err)
+	}
+
+	meter := metrics.NewCostMeter()
+	clients := make([]*Client, cfg.Clients)
+	var info ModelInfo
+	var initState []float64
+	for i := range clients {
+		m, err := model.Build(spec, rand.New(rand.NewSource(cfg.Seed+2)))
+		if err != nil {
+			return nil, fmt.Errorf("fl: build model: %w", err)
+		}
+		if i == 0 {
+			info = InfoOf(m)
+			initState = m.StateVector()
+		}
+		opt := optim.New(cfg.Optimizer, cfg.LearningRate)
+		if opt == nil {
+			return nil, fmt.Errorf("fl: unknown optimizer %q", cfg.Optimizer)
+		}
+		c, err := NewClient(i, m, shards[i], opt, cfg.BatchSize, cfg.LocalEpochs,
+			rand.New(rand.NewSource(cfg.Seed+100+int64(i))))
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = c
+	}
+	if err := def.Bind(info); err != nil {
+		return nil, fmt.Errorf("fl: bind defense %q: %w", def.Name(), err)
+	}
+	// Wire the cost meter into defenses that account extra buffer memory
+	// (Table 3's third metric).
+	if metered, ok := def.(interface{ SetMeter(*metrics.CostMeter) }); ok {
+		metered.SetMeter(meter)
+	}
+	server, err := NewServer(initState, def, meter)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Config:  cfg,
+		Server:  server,
+		Clients: clients,
+		Defense: def,
+		Meter:   meter,
+		Split:   split,
+		Shards:  shards,
+		spec:    spec,
+	}, nil
+}
+
+// Spec returns the dataset spec the system was built with (after Records
+// override).
+func (s *System) Spec() data.Spec { return s.spec }
+
+// selectClients returns the round's participating clients: all of them at
+// full participation, otherwise a deterministic per-round sample of
+// ceil(Participation·N) clients.
+func (s *System) selectClients(round int) []*Client {
+	n := len(s.Clients)
+	if s.Config.Participation >= 1 {
+		return s.Clients
+	}
+	k := int(math.Ceil(s.Config.Participation * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(s.Config.Seed ^ int64(round+1)<<16 ^ 0x5e1ec7))
+	perm := rng.Perm(n)
+	selected := make([]*Client, k)
+	for i := 0; i < k; i++ {
+		selected[i] = s.Clients[perm[i]]
+	}
+	return selected
+}
+
+// RunRound executes one FL round across the round's selected clients and
+// aggregates. It returns the round's client updates (post-defense, i.e.
+// exactly what a server-side attacker observes).
+func (s *System) RunRound(ctx context.Context) ([]*Update, error) {
+	round := s.Server.Round()
+	global := s.Server.GlobalState()
+	participants := s.selectClients(round)
+	updates := make([]*Update, len(participants))
+
+	if s.Config.Parallel {
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		for i, c := range participants {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			wg.Add(1)
+			go func(i int, c *Client) {
+				defer wg.Done()
+				u, err := c.RunRound(round, global, s.Defense, s.Meter)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+					return
+				}
+				updates[i] = u
+			}(i, c)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	} else {
+		for i, c := range participants {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			u, err := c.RunRound(round, global, s.Defense, s.Meter)
+			if err != nil {
+				return nil, err
+			}
+			updates[i] = u
+		}
+	}
+	if err := s.Server.Aggregate(updates); err != nil {
+		return nil, err
+	}
+	return updates, nil
+}
+
+// Run executes cfg.Rounds rounds and returns the updates of the final round.
+func (s *System) Run(ctx context.Context) ([]*Update, error) {
+	var last []*Update
+	for r := 0; r < s.Config.Rounds; r++ {
+		updates, err := s.RunRound(ctx)
+		if err != nil {
+			return nil, err
+		}
+		last = updates
+	}
+	return last, nil
+}
+
+// FinalizeClients delivers the final global model to every client through the
+// defense's download path (so DINAR clients end personalized), leaving each
+// client's model in its prediction-ready state. Call after Run and before
+// evaluating client utility.
+func (s *System) FinalizeClients() error {
+	round := s.Server.Round()
+	global := s.Server.GlobalState()
+	for _, c := range s.Clients {
+		state := s.Defense.OnGlobalModel(c.ID, round, global)
+		if err := c.Install(state); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeanClientAccuracy evaluates every client's personalized model on ds and
+// returns the average accuracy — the paper's "overall model utility metric"
+// (Appendix A).
+func (s *System) MeanClientAccuracy(ds *data.Dataset) (float64, error) {
+	sum := 0.0
+	for _, c := range s.Clients {
+		acc, _, err := c.Evaluate(ds)
+		if err != nil {
+			return 0, err
+		}
+		sum += acc
+	}
+	return sum / float64(len(s.Clients)), nil
+}

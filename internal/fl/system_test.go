@@ -1,0 +1,331 @@
+package fl
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/optim"
+)
+
+// noneDefense is a local identity defense to avoid importing
+// internal/defense (which would create an import cycle in tests).
+type noneDefense struct{ info ModelInfo }
+
+func (d *noneDefense) Name() string { return "none" }
+func (d *noneDefense) Bind(info ModelInfo) error {
+	d.info = info
+	return nil
+}
+func (d *noneDefense) OnGlobalModel(_, _ int, global []float64) []float64 {
+	return append([]float64(nil), global...)
+}
+func (d *noneDefense) BeforeUpload(_ int, _ []float64, _ *Update) {}
+func (d *noneDefense) Aggregate(_ int, _ []float64, updates []*Update) ([]float64, error) {
+	return FedAvg(updates)
+}
+
+func smallConfig() Config {
+	return Config{
+		Dataset:      "purchase100",
+		Records:      600,
+		Clients:      3,
+		Rounds:       2,
+		LocalEpochs:  1,
+		BatchSize:    32,
+		LearningRate: 0.05,
+		Optimizer:    "sgd",
+		Seed:         1,
+	}
+}
+
+func TestNewSystemShapes(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), &noneDefense{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Clients) != 3 {
+		t.Fatalf("clients = %d", len(sys.Clients))
+	}
+	// Paper split: 600 -> 300 attacker, 240 train, 60 test.
+	if sys.Split.Attacker.Len() != 300 || sys.Split.Train.Len() != 240 || sys.Split.Test.Len() != 60 {
+		t.Fatalf("split = %d/%d/%d", sys.Split.Attacker.Len(), sys.Split.Train.Len(), sys.Split.Test.Len())
+	}
+	total := 0
+	for _, sh := range sys.Shards {
+		total += sh.Len()
+	}
+	if total != 240 {
+		t.Fatalf("shards cover %d", total)
+	}
+}
+
+func TestNewSystemErrors(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := NewSystem(cfg, nil); err == nil {
+		t.Fatal("accepted nil defense")
+	}
+	cfg.Dataset = "nope"
+	if _, err := NewSystem(cfg, &noneDefense{}); err == nil {
+		t.Fatal("accepted unknown dataset")
+	}
+	cfg = smallConfig()
+	cfg.Optimizer = "nope"
+	if _, err := NewSystem(cfg, &noneDefense{}); err == nil {
+		t.Fatal("accepted unknown optimizer")
+	}
+}
+
+func TestSystemRunChangesGlobalState(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), &noneDefense{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Server.GlobalState()
+	updates, err := sys.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 3 {
+		t.Fatalf("final round updates = %d", len(updates))
+	}
+	after := sys.Server.GlobalState()
+	same := true
+	for i := range before {
+		if before[i] != after[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("global state unchanged after training")
+	}
+	if sys.Server.Round() != 2 {
+		t.Fatalf("rounds = %d", sys.Server.Round())
+	}
+}
+
+func TestSystemDeterministicAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		sys, err := NewSystem(smallConfig(), &noneDefense{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Server.GlobalState()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different global states")
+		}
+	}
+}
+
+func TestSystemParallelMatchesSequentialAggregate(t *testing.T) {
+	cfgSeq := smallConfig()
+	cfgPar := smallConfig()
+	cfgPar.Parallel = true
+
+	runWith := func(cfg Config) []float64 {
+		sys, err := NewSystem(cfg, &noneDefense{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Server.GlobalState()
+	}
+	a, b := runWith(cfgSeq), runWith(cfgPar)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatal("parallel and sequential training disagree")
+		}
+	}
+}
+
+func TestSystemCancellation(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), &noneDefense{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.Run(ctx); err == nil {
+		t.Fatal("cancelled run should fail")
+	}
+}
+
+func TestSystemLearns(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Dataset = "purchase100"
+	cfg.Records = 1200
+	cfg.Rounds = 6
+	cfg.LocalEpochs = 2
+	cfg.LearningRate = 0.1
+	sys, err := NewSystem(cfg, &noneDefense{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FinalizeClients(); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := sys.MeanClientAccuracy(sys.Split.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 classes, random = 1%. Require clear learning signal.
+	if acc < 0.05 {
+		t.Fatalf("test accuracy %.3f shows no learning", acc)
+	}
+	report := sys.Meter.Report()
+	if report.MeanClientTrain == 0 {
+		t.Fatal("cost meter recorded no client training time")
+	}
+	if report.MeanServerAgg == 0 {
+		t.Fatal("cost meter recorded no aggregation time")
+	}
+}
+
+func TestSystemDirichletPartition(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DirichletAlpha = 0.5
+	sys, err := NewSystem(cfg, &noneDefense{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew := data.SkewMetric(sys.Split.Train, sys.Shards)
+	cfg2 := smallConfig()
+	sys2, err := NewSystem(cfg2, &noneDefense{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iidSkew := data.SkewMetric(sys2.Split.Train, sys2.Shards)
+	if skew <= iidSkew {
+		t.Fatalf("dirichlet skew %v should exceed IID skew %v", skew, iidSkew)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	spec, _ := data.Lookup("purchase100")
+	ds, _ := data.GenerateN(spec, 20, 1)
+	m := model.FCNN6(spec.Features, spec.Classes, rand.New(rand.NewSource(1)))
+	opt := optim.NewSGD(0.1, 0)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := NewClient(0, nil, ds, opt, 8, 1, rng); err == nil {
+		t.Fatal("accepted nil model")
+	}
+	if _, err := NewClient(0, m, ds, opt, 0, 1, rng); err == nil {
+		t.Fatal("accepted zero batch size")
+	}
+	if _, err := NewClient(0, m, ds, opt, 8, 0, rng); err == nil {
+		t.Fatal("accepted zero epochs")
+	}
+	empty := ds.Subset(nil)
+	if _, err := NewClient(0, m, empty, opt, 8, 1, rng); err == nil {
+		t.Fatal("accepted empty dataset")
+	}
+	c, err := NewClient(0, m, ds, opt, 8, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TrainLocal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, &noneDefense{}, nil); err == nil {
+		t.Fatal("accepted empty state")
+	}
+	if _, err := NewServer([]float64{1}, nil, nil); err == nil {
+		t.Fatal("accepted nil defense")
+	}
+	s, err := NewServer([]float64{1, 2}, &noneDefense{}, metrics.NewCostMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Aggregate(nil); err == nil {
+		t.Fatal("accepted empty round")
+	}
+	if err := s.Aggregate([]*Update{{State: []float64{1}}}); err == nil {
+		t.Fatal("accepted short update")
+	}
+	if err := s.Aggregate([]*Update{{State: []float64{3, 4}, NumSamples: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.GlobalState()
+	if got[0] != 3 || got[1] != 4 {
+		t.Fatalf("state = %v", got)
+	}
+}
+
+func TestEvaluateModel(t *testing.T) {
+	spec, _ := data.Lookup("purchase100")
+	ds, _ := data.GenerateN(spec, 40, 3)
+	m := model.FCNN6(spec.Features, spec.Classes, rand.New(rand.NewSource(1)))
+	acc, meanLoss, err := EvaluateModel(m, ds, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if meanLoss <= 0 {
+		t.Fatalf("loss = %v", meanLoss)
+	}
+	losses, err := PerSampleLosses(m, ds, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 40 {
+		t.Fatalf("per-sample losses = %d", len(losses))
+	}
+}
+
+func TestPartialParticipation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Participation = 0.34 // ceil(0.34*3) = 2 of 3 clients per round
+	sys, err := NewSystem(cfg, &noneDefense{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, err := sys.RunRound(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 2 {
+		t.Fatalf("participants = %d, want 2", len(updates))
+	}
+	// Selection must vary across rounds (deterministically per seed).
+	seen := make(map[int]bool)
+	for r := 0; r < 6; r++ {
+		for _, c := range sys.selectClients(r) {
+			seen[c.ID] = true
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("rotation covered only %d clients", len(seen))
+	}
+}
+
+func TestFullParticipationDefault(t *testing.T) {
+	cfg := smallConfig()
+	sys, err := NewSystem(cfg, &noneDefense{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.selectClients(0)); got != 3 {
+		t.Fatalf("default participation selected %d of 3", got)
+	}
+}

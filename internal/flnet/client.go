@@ -1,0 +1,105 @@
+package flnet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/fl"
+)
+
+// ClientConfig configures a middleware client process.
+type ClientConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Trainer is the local FL client (model, data shard, optimizer).
+	Trainer *fl.Client
+	// Defense is the client-side defense instance (OnGlobalModel and
+	// BeforeUpload hooks run here). It must already be Bound.
+	Defense fl.Defense
+	// DialTimeout bounds the initial connection (default 30s); IOTimeout
+	// bounds each read/write (default 2 minutes).
+	DialTimeout time.Duration
+	IOTimeout   time.Duration
+}
+
+// RunClient connects to the server, participates in every round until the
+// server sends Done, installs the final (personalized) model into the
+// trainer, and returns the final global state.
+func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
+	if cfg.Trainer == nil || cfg.Defense == nil {
+		return nil, fmt.Errorf("flnet: client needs Trainer and Defense")
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 30 * time.Second
+	}
+	if cfg.IOTimeout == 0 {
+		cfg.IOTimeout = 2 * time.Minute
+	}
+	dialer := net.Dialer{Timeout: cfg.DialTimeout}
+	conn, err := dialer.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("flnet: dial %s: %w", cfg.Addr, err)
+	}
+	defer conn.Close()
+
+	// Cancel blocking reads when ctx ends.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+
+	conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
+	if err := WriteMessage(conn, &Message{Kind: KindHello, ClientID: cfg.Trainer.ID}); err != nil {
+		return nil, err
+	}
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(cfg.IOTimeout))
+		msg, err := ReadMessage(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, err
+		}
+		switch msg.Kind {
+		case KindGlobal:
+			u, err := cfg.Trainer.RunRound(msg.Round, msg.State, cfg.Defense, nil)
+			if err != nil {
+				conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
+				_ = WriteMessage(conn, &Message{Kind: KindError, Err: err.Error()})
+				return nil, err
+			}
+			conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
+			err = WriteMessage(conn, &Message{
+				Kind:       KindUpdate,
+				ClientID:   u.ClientID,
+				Round:      u.Round,
+				State:      u.State,
+				NumSamples: u.NumSamples,
+			})
+			if err != nil {
+				return nil, err
+			}
+		case KindDone:
+			// Final personalization: install the last global model through
+			// the defense's download path.
+			state := cfg.Defense.OnGlobalModel(cfg.Trainer.ID, msg.Round, msg.State)
+			if err := cfg.Trainer.Install(state); err != nil {
+				return nil, err
+			}
+			return msg.State, nil
+		case KindError:
+			return nil, fmt.Errorf("flnet: server reported: %s", msg.Err)
+		default:
+			return nil, fmt.Errorf("flnet: unexpected %v frame", msg.Kind)
+		}
+	}
+}

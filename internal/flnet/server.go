@@ -1,0 +1,222 @@
+package flnet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/fl"
+	"repro/internal/metrics"
+)
+
+// ServerConfig configures the middleware server.
+type ServerConfig struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:7070". Use ":0" for an
+	// ephemeral port (tests).
+	Addr string
+	// NumClients is the cohort size; the server waits for exactly this many
+	// registrations before round 1.
+	NumClients int
+	// Rounds is the number of FL rounds to run.
+	Rounds int
+	// Defense is the server-side defense instance (its Aggregate hook runs
+	// here). It must already be Bound to the model layout.
+	Defense fl.Defense
+	// InitialState is the initial global model state vector.
+	InitialState []float64
+	// IOTimeout bounds individual reads/writes per connection (default 2
+	// minutes).
+	IOTimeout time.Duration
+	// Meter records aggregation costs (optional).
+	Meter *metrics.CostMeter
+}
+
+// Server is the TCP federated-learning middleware server.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	core *fl.Server
+}
+
+// NewServer validates the configuration and starts listening.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.NumClients <= 0 || cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("flnet: need positive NumClients/Rounds, got %d/%d", cfg.NumClients, cfg.Rounds)
+	}
+	if cfg.Defense == nil {
+		return nil, fmt.Errorf("flnet: nil defense")
+	}
+	if cfg.IOTimeout == 0 {
+		cfg.IOTimeout = 2 * time.Minute
+	}
+	core, err := fl.NewServer(cfg.InitialState, cfg.Defense, cfg.Meter)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("flnet: listen %s: %w", cfg.Addr, err)
+	}
+	return &Server{cfg: cfg, ln: ln, core: core}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.ln.Close() }
+
+// session is one connected client.
+type session struct {
+	conn     net.Conn
+	clientID int
+}
+
+// Run accepts NumClients registrations, orchestrates all rounds, sends the
+// final model, and returns the final global state.
+func (s *Server) Run(ctx context.Context) ([]float64, error) {
+	defer s.ln.Close()
+
+	// Cancel blocking Accept/Read calls when ctx ends.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.ln.Close()
+		case <-stop:
+		}
+	}()
+
+	sessions, err := s.accept(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, sess := range sessions {
+			sess.conn.Close()
+		}
+	}()
+
+	for round := 0; round < s.cfg.Rounds; round++ {
+		updates, err := s.runRound(ctx, round, sessions)
+		if err != nil {
+			return nil, fmt.Errorf("flnet: round %d: %w", round, err)
+		}
+		if err := s.core.Aggregate(updates); err != nil {
+			return nil, err
+		}
+	}
+	final := s.core.GlobalState()
+	for _, sess := range sessions {
+		msg := &Message{Kind: KindDone, Round: s.cfg.Rounds, State: final}
+		if err := s.send(sess, msg); err != nil {
+			return nil, fmt.Errorf("flnet: send done to client %d: %w", sess.clientID, err)
+		}
+	}
+	return final, nil
+}
+
+// accept waits for NumClients hello frames.
+func (s *Server) accept(ctx context.Context) ([]*session, error) {
+	sessions := make([]*session, 0, s.cfg.NumClients)
+	seen := make(map[int]bool, s.cfg.NumClients)
+	for len(sessions) < s.cfg.NumClients {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("flnet: accept: %w", err)
+		}
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
+		msg, err := ReadMessage(conn)
+		if err != nil || msg.Kind != KindHello {
+			conn.Close()
+			continue // ignore malformed registrants
+		}
+		if seen[msg.ClientID] {
+			s.sendError(conn, fmt.Sprintf("client id %d already registered", msg.ClientID))
+			conn.Close()
+			continue
+		}
+		seen[msg.ClientID] = true
+		sessions = append(sessions, &session{conn: conn, clientID: msg.ClientID})
+	}
+	return sessions, nil
+}
+
+// runRound broadcasts the global state and collects one update per client.
+func (s *Server) runRound(ctx context.Context, round int, sessions []*session) ([]*fl.Update, error) {
+	global := s.core.GlobalState()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	updates := make([]*fl.Update, len(sessions))
+	for i, sess := range sessions {
+		wg.Add(1)
+		go func(i int, sess *session) {
+			defer wg.Done()
+			u, err := s.exchange(sess, round, global)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("client %d: %w", sess.clientID, err)
+				return
+			}
+			updates[i] = u
+		}(i, sess)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return updates, nil
+}
+
+// exchange sends the round's global state and reads the client's update.
+func (s *Server) exchange(sess *session, round int, global []float64) (*fl.Update, error) {
+	if err := s.send(sess, &Message{Kind: KindGlobal, Round: round, State: global}); err != nil {
+		return nil, err
+	}
+	sess.conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
+	msg, err := ReadMessage(sess.conn)
+	if err != nil {
+		return nil, err
+	}
+	switch msg.Kind {
+	case KindUpdate:
+	case KindError:
+		return nil, fmt.Errorf("client reported: %s", msg.Err)
+	default:
+		return nil, fmt.Errorf("unexpected %v frame", msg.Kind)
+	}
+	if msg.Round != round {
+		return nil, fmt.Errorf("update for round %d during round %d", msg.Round, round)
+	}
+	return &fl.Update{
+		ClientID:   sess.clientID,
+		Round:      msg.Round,
+		State:      msg.State,
+		NumSamples: msg.NumSamples,
+	}, nil
+}
+
+func (s *Server) send(sess *session, msg *Message) error {
+	sess.conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+	return WriteMessage(sess.conn, msg)
+}
+
+func (s *Server) sendError(conn net.Conn, text string) {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+	// Best effort: the registrant is being rejected anyway.
+	_ = WriteMessage(conn, &Message{Kind: KindError, Err: text})
+}

@@ -1,0 +1,107 @@
+// Package flnet is the network layer of the DINAR middleware: a TCP
+// client/server protocol that runs the same federated rounds as the
+// in-process fl.System, but across real sockets. Examples and the
+// cmd/dinar-server / cmd/dinar-client tools deploy it; experiments default to
+// the in-process system for determinism and speed.
+//
+// The wire protocol is length-prefixed gob: every frame is a 4-byte
+// big-endian payload length followed by a gob-encoded Message. The round
+// flow is:
+//
+//	client -> server  Hello{ClientID}
+//	server -> client  Global{Round, State}          (per round)
+//	client -> server  Update{Round, State, NumSamples}
+//	server -> client  Done{State: final global}
+package flnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Kind discriminates protocol messages.
+type Kind int
+
+// Message kinds.
+const (
+	KindHello Kind = iota + 1
+	KindGlobal
+	KindUpdate
+	KindDone
+	KindError
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindGlobal:
+		return "global"
+	case KindUpdate:
+		return "update"
+	case KindDone:
+		return "done"
+	case KindError:
+		return "error"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Message is the single frame type of the protocol; fields are used
+// depending on Kind.
+type Message struct {
+	Kind       Kind
+	ClientID   int
+	Round      int
+	State      []float64
+	NumSamples int
+	// Err carries a human-readable error for KindError frames.
+	Err string
+}
+
+// maxFrameBytes bounds a frame to protect against corrupt length prefixes
+// (128 MiB is far above any scaled model's state vector).
+const maxFrameBytes = 128 << 20
+
+// WriteMessage encodes msg as a length-prefixed gob frame.
+func WriteMessage(w io.Writer, msg *Message) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+		return fmt.Errorf("flnet: encode %v: %w", msg.Kind, err)
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(buf.Len()))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("flnet: write header: %w", err)
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("flnet: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage decodes one length-prefixed gob frame.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("flnet: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(header[:])
+	if n == 0 || n > maxFrameBytes {
+		return nil, fmt.Errorf("flnet: frame length %d out of range", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("flnet: read payload: %w", err)
+	}
+	var msg Message
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&msg); err != nil {
+		return nil, fmt.Errorf("flnet: decode: %w", err)
+	}
+	return &msg, nil
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// CostMeter accumulates the cost metrics of the paper's Table 3: client-side
+// training duration per FL round, server-side aggregation duration, and peak
+// memory in use during client work. It is safe for concurrent use (clients
+// train in parallel goroutines).
+type CostMeter struct {
+	mu sync.Mutex
+
+	clientTrain []time.Duration
+	serverAgg   []time.Duration
+	peakAllocB  uint64
+	extraBytes  uint64 // defense-attributed buffer bytes (noise, masks, ...)
+}
+
+// NewCostMeter returns an empty cost meter.
+func NewCostMeter() *CostMeter { return &CostMeter{} }
+
+// AddClientTrain records the duration of one client's local training for one
+// round.
+func (c *CostMeter) AddClientTrain(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clientTrain = append(c.clientTrain, d)
+}
+
+// AddServerAgg records the duration of one server aggregation.
+func (c *CostMeter) AddServerAgg(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.serverAgg = append(c.serverAgg, d)
+}
+
+// AddDefenseBytes attributes additional buffer memory to the active defense
+// (e.g. per-parameter noise vectors, compression residuals, pairwise masks).
+func (c *CostMeter) AddDefenseBytes(n uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.extraBytes += n
+}
+
+// SampleMemory reads the runtime heap-in-use size and keeps the maximum seen.
+// Call it at memory-intensive points (after local training, after defense
+// application).
+func (c *CostMeter) SampleMemory() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ms.HeapInuse > c.peakAllocB {
+		c.peakAllocB = ms.HeapInuse
+	}
+}
+
+// CostReport is an immutable snapshot of a CostMeter.
+type CostReport struct {
+	// MeanClientTrain is the mean per-round client training duration.
+	MeanClientTrain time.Duration
+	// MeanServerAgg is the mean server aggregation duration.
+	MeanServerAgg time.Duration
+	// PeakAllocBytes is the peak sampled heap-in-use.
+	PeakAllocBytes uint64
+	// DefenseBytes is the defense-attributed buffer memory.
+	DefenseBytes uint64
+}
+
+// Report returns the current snapshot.
+func (c *CostMeter) Report() CostReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CostReport{
+		MeanClientTrain: meanDuration(c.clientTrain),
+		MeanServerAgg:   meanDuration(c.serverAgg),
+		PeakAllocBytes:  c.peakAllocB,
+		DefenseBytes:    c.extraBytes,
+	}
+}
+
+func meanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range ds {
+		total += d
+	}
+	return total / time.Duration(len(ds))
+}
+
+// Overhead returns the relative overhead of `got` versus `baseline` as a
+// percentage (e.g. +35 means 35% slower). A zero baseline yields 0.
+func Overhead(got, baseline time.Duration) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (float64(got)/float64(baseline) - 1) * 100
+}
+
+// OverheadBytes is Overhead for byte counts.
+func OverheadBytes(got, baseline uint64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (float64(got)/float64(baseline) - 1) * 100
+}

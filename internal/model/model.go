@@ -1,0 +1,181 @@
+// Package model builds the four neural-network families of the paper's
+// Table 2: ResNet20 (Cifar-10/100), VGG11 (GTSRB, CelebA), M18 (Speech
+// Commands), and the 6-layer FCNN (Purchase100, Texas100).
+//
+// Architectures are topology-faithful but channel-scaled so that full
+// federated-learning experiments run on CPU: layer counts, residual wiring,
+// pooling schedule, and activation choices match the originals, while widths
+// are divided by a constant factor. The paper's findings are architectural
+// (the penultimate layer leaks the most membership information in every
+// family), so preserving topology preserves the phenomenon under test.
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+)
+
+// Build constructs the paper's model family for the given dataset spec
+// (Table 2): ResNet20 for cifar10/cifar100, VGG11 for gtsrb/celeba, M18 for
+// speechcommands, FCNN-6 for purchase100/texas100.
+func Build(spec data.Spec, rng *rand.Rand) (*nn.Model, error) {
+	switch spec.Name {
+	case "cifar10", "cifar100":
+		return ResNet20(spec.Channels, spec.Classes, rng), nil
+	case "gtsrb", "celeba":
+		return VGG11(spec.Channels, spec.Height, spec.Width, spec.Classes, rng)
+	case "speechcommands":
+		return M18(spec.SeqLen, spec.Classes, rng)
+	case "purchase100", "texas100":
+		return FCNN6(spec.Features, spec.Classes, rng), nil
+	}
+	// Unknown datasets fall back by modality.
+	switch spec.Modality {
+	case data.Image:
+		return ResNet20(spec.Channels, spec.Classes, rng), nil
+	case data.Audio:
+		return M18(spec.SeqLen, spec.Classes, rng)
+	case data.Tabular:
+		return FCNN6(spec.Features, spec.Classes, rng), nil
+	}
+	return nil, fmt.Errorf("model: no architecture for spec %q", spec.Name)
+}
+
+// resNetWidth is the scaled base width (the original uses 16).
+const resNetWidth = 4
+
+// ResNet20 builds the CIFAR-style ResNet20: an initial 3×3 convolution
+// followed by three stages of three basic residual blocks (widths w, 2w, 4w;
+// stride-2 downsampling at stage boundaries), global average pooling, and a
+// linear classifier. 20 weight layers, as in He et al.
+func ResNet20(inChannels, classes int, rng *rand.Rand) *nn.Model {
+	w := resNetWidth
+	layers := []nn.Layer{
+		nn.NewConv2D(inChannels, w, 3, 1, 1, rng),
+		nn.NewBatchNorm(w),
+		nn.NewReLU(),
+	}
+	widths := []int{w, 2 * w, 4 * w}
+	in := w
+	for stage, width := range widths {
+		for block := 0; block < 3; block++ {
+			stride := 1
+			if stage > 0 && block == 0 {
+				stride = 2
+			}
+			layers = append(layers, nn.NewResidual(in, width, stride, rng))
+			in = width
+		}
+	}
+	layers = append(layers,
+		nn.NewGlobalAvgPool(),
+		nn.NewDense(in, classes, rng),
+	)
+	return nn.NewModel(layers...)
+}
+
+// vggWidths are the scaled VGG11 convolution widths (originals divided
+// by 16: 64,128,256,256,512,512,512,512).
+var vggWidths = []int{4, 8, 16, 16, 32, 32, 32, 32}
+
+// vggPoolAfter marks the convolution indices followed by 2×2 max pooling.
+// The original VGG11 pools after convs 1, 2, 4, 6 and 8; with 16×16 inputs we
+// keep four pools (after convs 1, 2, 4, 8) so the final feature map is 1×1.
+var vggPoolAfter = map[int]bool{0: true, 1: true, 3: true, 7: true}
+
+// VGG11 builds the VGG11 configuration used for GTSRB and CelebA: eight 3×3
+// convolutions with BatchNorm (this is the "neural network with 8
+// convolutional layers" analyzed in the paper's Fig. 4) followed by a
+// two-layer classifier head.
+func VGG11(inChannels, height, width, classes int, rng *rand.Rand) (*nn.Model, error) {
+	if height < 16 || width < 16 {
+		return nil, fmt.Errorf("model: VGG11 needs >=16x16 inputs, got %dx%d", height, width)
+	}
+	var layers []nn.Layer
+	in := inChannels
+	spatial := height
+	for i, w := range vggWidths {
+		layers = append(layers,
+			nn.NewConv2D(in, w, 3, 1, 1, rng),
+			nn.NewBatchNorm(w),
+			nn.NewReLU(),
+		)
+		if vggPoolAfter[i] {
+			layers = append(layers, nn.NewMaxPool2D(2))
+			spatial /= 2
+		}
+		in = w
+	}
+	flat := in * spatial * spatial
+	layers = append(layers,
+		nn.NewFlatten(),
+		nn.NewDense(flat, 32, rng),
+		nn.NewReLU(),
+		nn.NewDense(32, classes, rng),
+	)
+	return nn.NewModel(layers...), nil
+}
+
+// m18StageWidths are the scaled M18 stage widths (originals 64,128,256,512
+// divided by 16).
+var m18StageWidths = []int{4, 8, 16, 32}
+
+// M18 builds the 18-weight-layer 1-D convolutional network of Dai et al.
+// ("Very Deep Convolutional Neural Networks for Raw Waveforms"): a long
+// stride-4 input convolution, four stages of four 3-tap convolutions with
+// BatchNorm and stage-boundary max pooling, global average pooling, and a
+// linear classifier — 17 convolutions + 1 dense = 18 weight layers.
+func M18(seqLen, classes int, rng *rand.Rand) (*nn.Model, error) {
+	if seqLen < 64 {
+		return nil, fmt.Errorf("model: M18 needs seqLen >= 64, got %d", seqLen)
+	}
+	first := m18StageWidths[0]
+	layers := []nn.Layer{
+		nn.NewConv1D(1, first, 16, 4, 6, rng),
+		nn.NewBatchNorm(first),
+		nn.NewReLU(),
+		nn.NewMaxPool1D(2),
+	}
+	in := first
+	for stage, width := range m18StageWidths {
+		for block := 0; block < 4; block++ {
+			layers = append(layers,
+				nn.NewConv1D(in, width, 3, 1, 1, rng),
+				nn.NewBatchNorm(width),
+				nn.NewReLU(),
+			)
+			in = width
+		}
+		if stage < len(m18StageWidths)-1 {
+			layers = append(layers, nn.NewMaxPool1D(2))
+		}
+	}
+	layers = append(layers,
+		nn.NewGlobalAvgPool(),
+		nn.NewDense(in, classes, rng),
+	)
+	return nn.NewModel(layers...), nil
+}
+
+// fcnnWidths are the scaled fully-connected widths (originals
+// 4096,2048,1024,512,256 divided by 8; the paper's sixth layer is the
+// classifier).
+var fcnnWidths = []int{512, 256, 128, 64, 32}
+
+// FCNN6 builds the paper's 6-layer fully-connected classifier for
+// Purchase100/Texas100: five Tanh hidden layers plus a linear classification
+// layer (six weight layers in total, so the penultimate layer is layer 5 —
+// the layer DINAR obfuscates in Fig. 5).
+func FCNN6(features, classes int, rng *rand.Rand) *nn.Model {
+	var layers []nn.Layer
+	in := features
+	for _, w := range fcnnWidths {
+		layers = append(layers, nn.NewDense(in, w, rng), nn.NewTanh())
+		in = w
+	}
+	layers = append(layers, nn.NewDense(in, classes, rng))
+	return nn.NewModel(layers...)
+}

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation max(0, x).
+type ReLU struct {
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	out := x.Clone()
+	data := out.Data()
+	if cap(r.mask) < len(data) {
+		r.mask = make([]bool, len(data))
+	}
+	r.mask = r.mask[:len(data)]
+	for i, v := range data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	grad := gradOut.Clone()
+	data := grad.Data()
+	for i := range data {
+		if !r.mask[i] {
+			data[i] = 0
+		}
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	lastOut *tensor.Tensor
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "tanh" }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	out := x.Clone()
+	out.Apply(math.Tanh)
+	t.lastOut = out
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if t.lastOut == nil {
+		panic("nn: tanh Backward before Forward")
+	}
+	grad := gradOut.Clone()
+	gd, od := grad.Data(), t.lastOut.Data()
+	for i := range gd {
+		gd[i] *= 1 - od[i]*od[i]
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (t *Tanh) Grads() []*tensor.Tensor { return nil }
+
+// Flatten reshapes [B, ...] inputs to [B, prod(...)]. It is a no-op on 2-D
+// inputs.
+type Flatten struct {
+	lastShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten returns a flattening layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	f.lastShape = x.Shape()
+	batch := x.Dim(0)
+	return x.MustReshape(batch, x.Len()/batch)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.MustReshape(f.lastShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }

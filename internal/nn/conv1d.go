@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv1D is a 1-D convolution over [B, C, L] inputs (used by the M18 audio
+// model). Weights have shape [OutC, InC, K].
+type Conv1D struct {
+	InC, OutC   int
+	K           int
+	Stride, Pad int
+
+	w, b   *tensor.Tensor
+	gw, gb *tensor.Tensor
+
+	lastX *tensor.Tensor
+}
+
+var (
+	_ Layer       = (*Conv1D)(nil)
+	_ Initializer = (*Conv1D)(nil)
+)
+
+// NewConv1D returns a 1-D convolution layer with He-initialized weights.
+func NewConv1D(inC, outC, k, stride, pad int, rng *rand.Rand) *Conv1D {
+	c := &Conv1D{
+		InC:    inC,
+		OutC:   outC,
+		K:      k,
+		Stride: stride,
+		Pad:    pad,
+		w:      tensor.New(outC, inC, k),
+		b:      tensor.New(outC),
+		gw:     tensor.New(outC, inC, k),
+		gb:     tensor.New(outC),
+	}
+	c.ResetParams(rng)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv1D) Name() string {
+	return fmt.Sprintf("conv1d(%d,%d->%d,s%d,p%d)", c.K, c.InC, c.OutC, c.Stride, c.Pad)
+}
+
+// InitScale implements Initializer.
+func (c *Conv1D) InitScale() float64 {
+	return math.Sqrt(2.0 / float64(c.InC*c.K))
+}
+
+// ResetParams implements Initializer.
+func (c *Conv1D) ResetParams(rng *rand.Rand) {
+	std := c.InitScale()
+	for i, data := 0, c.w.Data(); i < len(data); i++ {
+		data[i] = rng.NormFloat64() * std
+	}
+	c.b.Zero()
+}
+
+// OutLen returns the output length for an input of length l.
+func (c *Conv1D) OutLen(l int) int { return (l+2*c.Pad-c.K)/c.Stride + 1 }
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Dims() != 3 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: %s got input %v", c.Name(), x.Shape()))
+	}
+	batch, l := x.Dim(0), x.Dim(2)
+	ol := c.OutLen(l)
+	if ol <= 0 {
+		panic(fmt.Sprintf("nn: %s output length %d for input %v", c.Name(), ol, x.Shape()))
+	}
+	c.lastX = x
+	out := tensor.New(batch, c.OutC, ol)
+	xd, od, wd, bd := x.Data(), out.Data(), c.w.Data(), c.b.Data()
+	for bi := 0; bi < batch; bi++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			dst := od[(bi*c.OutC+oc)*ol : (bi*c.OutC+oc+1)*ol]
+			for o := 0; o < ol; o++ {
+				i0 := o*c.Stride - c.Pad
+				sum := bd[oc]
+				for ic := 0; ic < c.InC; ic++ {
+					src := xd[(bi*c.InC+ic)*l : (bi*c.InC+ic+1)*l]
+					wRow := wd[(oc*c.InC+ic)*c.K : (oc*c.InC+ic+1)*c.K]
+					for k := 0; k < c.K; k++ {
+						i := i0 + k
+						if i < 0 || i >= l {
+							continue
+						}
+						sum += wRow[k] * src[i]
+					}
+				}
+				dst[o] = sum
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.lastX == nil {
+		panic("nn: conv1d Backward before Forward")
+	}
+	batch, l := c.lastX.Dim(0), c.lastX.Dim(2)
+	ol := gradOut.Dim(2)
+	c.gw.Zero()
+	c.gb.Zero()
+	gradIn := tensor.New(batch, c.InC, l)
+	xd, gd := c.lastX.Data(), gradOut.Data()
+	gid, gwd, gbd, wd := gradIn.Data(), c.gw.Data(), c.gb.Data(), c.w.Data()
+	for bi := 0; bi < batch; bi++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			gRow := gd[(bi*c.OutC+oc)*ol : (bi*c.OutC+oc+1)*ol]
+			for o, g := range gRow {
+				if g == 0 {
+					continue
+				}
+				gbd[oc] += g
+				i0 := o*c.Stride - c.Pad
+				for ic := 0; ic < c.InC; ic++ {
+					src := xd[(bi*c.InC+ic)*l : (bi*c.InC+ic+1)*l]
+					giRow := gid[(bi*c.InC+ic)*l : (bi*c.InC+ic+1)*l]
+					wRow := wd[(oc*c.InC+ic)*c.K : (oc*c.InC+ic+1)*c.K]
+					gwRow := gwd[(oc*c.InC+ic)*c.K : (oc*c.InC+ic+1)*c.K]
+					for k := 0; k < c.K; k++ {
+						i := i0 + k
+						if i < 0 || i >= l {
+							continue
+						}
+						gwRow[k] += g * src[i]
+						giRow[i] += g * wRow[k]
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.w, c.b} }
+
+// Grads implements Layer.
+func (c *Conv1D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gw, c.gb} }

@@ -1,0 +1,236 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over [B, C, H, W] inputs, implemented with
+// im2col + matrix multiplication. Weights have shape [OutC, InC, KH, KW].
+type Conv2D struct {
+	InC, OutC   int
+	KH, KW      int
+	Stride, Pad int
+
+	w, b   *tensor.Tensor
+	gw, gb *tensor.Tensor
+
+	lastCol   *tensor.Tensor
+	lastShape []int // input shape of the last Forward
+}
+
+var (
+	_ Layer       = (*Conv2D)(nil)
+	_ Initializer = (*Conv2D)(nil)
+)
+
+// NewConv2D returns a 2-D convolution layer with He-initialized weights.
+func NewConv2D(inC, outC, k, stride, pad int, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{
+		InC:    inC,
+		OutC:   outC,
+		KH:     k,
+		KW:     k,
+		Stride: stride,
+		Pad:    pad,
+		w:      tensor.New(outC, inC, k, k),
+		b:      tensor.New(outC),
+		gw:     tensor.New(outC, inC, k, k),
+		gb:     tensor.New(outC),
+	}
+	c.ResetParams(rng)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv2d(%dx%d,%d->%d,s%d,p%d)", c.KH, c.KW, c.InC, c.OutC, c.Stride, c.Pad)
+}
+
+// InitScale implements Initializer.
+func (c *Conv2D) InitScale() float64 {
+	fanIn := float64(c.InC * c.KH * c.KW)
+	return math.Sqrt(2.0 / fanIn)
+}
+
+// ResetParams implements Initializer.
+func (c *Conv2D) ResetParams(rng *rand.Rand) {
+	std := c.InitScale()
+	for i, data := 0, c.w.Data(); i < len(data); i++ {
+		data[i] = rng.NormFloat64() * std
+	}
+	c.b.Zero()
+}
+
+// OutSize returns the spatial output size for an input of size h×w.
+func (c *Conv2D) OutSize(h, w int) (int, int) {
+	oh := (h+2*c.Pad-c.KH)/c.Stride + 1
+	ow := (w+2*c.Pad-c.KW)/c.Stride + 1
+	return oh, ow
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Dims() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: %s got input %v", c.Name(), x.Shape()))
+	}
+	batch, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := c.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: %s output size %dx%d for input %v", c.Name(), oh, ow, x.Shape()))
+	}
+	col := im2col(x, c.KH, c.KW, c.Stride, c.Pad, oh, ow)
+	c.lastCol = col
+	c.lastShape = x.Shape()
+
+	wmat := c.w.MustReshape(c.OutC, c.InC*c.KH*c.KW)
+	wt, err := tensor.Transpose2D(wmat)
+	if err != nil {
+		panic(err)
+	}
+	out2d, err := tensor.MatMul(col, wt) // [B*oh*ow, OutC]
+	if err != nil {
+		panic(err)
+	}
+	// Add bias and permute [B*oh*ow, OutC] -> [B, OutC, oh, ow].
+	out := tensor.New(batch, c.OutC, oh, ow)
+	o2, od, bd := out2d.Data(), out.Data(), c.b.Data()
+	spatial := oh * ow
+	for bi := 0; bi < batch; bi++ {
+		for s := 0; s < spatial; s++ {
+			row := o2[(bi*spatial+s)*c.OutC : (bi*spatial+s+1)*c.OutC]
+			for oc, v := range row {
+				od[(bi*c.OutC+oc)*spatial+s] = v + bd[oc]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.lastCol == nil {
+		panic("nn: conv2d Backward before Forward")
+	}
+	batch, oh, ow := gradOut.Dim(0), gradOut.Dim(2), gradOut.Dim(3)
+	spatial := oh * ow
+	// Permute gradOut [B, OutC, oh, ow] -> [B*oh*ow, OutC].
+	g2d := tensor.New(batch*spatial, c.OutC)
+	gd, g2 := gradOut.Data(), g2d.Data()
+	for bi := 0; bi < batch; bi++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			src := gd[(bi*c.OutC+oc)*spatial : (bi*c.OutC+oc+1)*spatial]
+			for s, v := range src {
+				g2[(bi*spatial+s)*c.OutC+oc] = v
+			}
+		}
+	}
+	// gb = column sums of g2d.
+	c.gb.Zero()
+	gbd := c.gb.Data()
+	for r := 0; r < batch*spatial; r++ {
+		row := g2[r*c.OutC : (r+1)*c.OutC]
+		for oc, v := range row {
+			gbd[oc] += v
+		}
+	}
+	// gw = g2dᵀ × col  => [OutC, InC*KH*KW]
+	g2t, err := tensor.Transpose2D(g2d)
+	if err != nil {
+		panic(err)
+	}
+	gwMat := c.gw.MustReshape(c.OutC, c.InC*c.KH*c.KW)
+	if err := tensor.MatMulInto(gwMat, g2t, c.lastCol); err != nil {
+		panic(err)
+	}
+	// gradCol = g2d × Wmat => [B*oh*ow, InC*KH*KW]
+	wmat := c.w.MustReshape(c.OutC, c.InC*c.KH*c.KW)
+	gradCol, err := tensor.MatMul(g2d, wmat)
+	if err != nil {
+		panic(err)
+	}
+	return col2im(gradCol, c.lastShape, c.KH, c.KW, c.Stride, c.Pad, oh, ow)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.w, c.b} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gw, c.gb} }
+
+// im2col unrolls convolution windows of x [B, C, H, W] into a matrix of shape
+// [B*oh*ow, C*kh*kw]; out-of-bounds (padding) positions contribute zeros.
+func im2col(x *tensor.Tensor, kh, kw, stride, pad, oh, ow int) *tensor.Tensor {
+	batch, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	colWidth := ch * kh * kw
+	col := tensor.New(batch*oh*ow, colWidth)
+	xd, cd := x.Data(), col.Data()
+	for bi := 0; bi < batch; bi++ {
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*stride - pad
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*stride - pad
+				rowOff := ((bi*oh+oy)*ow + ox) * colWidth
+				for c := 0; c < ch; c++ {
+					chanOff := (bi*ch + c) * h * w
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						dst := rowOff + (c*kh+ky)*kw
+						if iy < 0 || iy >= h {
+							continue // zeros already present
+						}
+						srcRow := chanOff + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							cd[dst+kx] = xd[srcRow+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return col
+}
+
+// col2im scatters a column matrix back into an image tensor of inShape,
+// accumulating overlapping contributions. It is the adjoint of im2col.
+func col2im(col *tensor.Tensor, inShape []int, kh, kw, stride, pad, oh, ow int) *tensor.Tensor {
+	batch, ch, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
+	colWidth := ch * kh * kw
+	out := tensor.New(batch, ch, h, w)
+	cd, od := col.Data(), out.Data()
+	for bi := 0; bi < batch; bi++ {
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*stride - pad
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*stride - pad
+				rowOff := ((bi*oh+oy)*ow + ox) * colWidth
+				for c := 0; c < ch; c++ {
+					chanOff := (bi*ch + c) * h * w
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						src := rowOff + (c*kh+ky)*kw
+						dstRow := chanOff + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							od[dstRow+ix] += cd[src+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = xWᵀ + b with W of shape [out, in].
+type Dense struct {
+	In, Out int
+
+	w, b   *tensor.Tensor
+	gw, gb *tensor.Tensor
+
+	lastX *tensor.Tensor
+}
+
+var (
+	_ Layer       = (*Dense)(nil)
+	_ Initializer = (*Dense)(nil)
+)
+
+// NewDense returns a dense layer with He-initialized weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		w:   tensor.New(out, in),
+		b:   tensor.New(out),
+		gw:  tensor.New(out, in),
+		gb:  tensor.New(out),
+	}
+	d.ResetParams(rng)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d->%d)", d.In, d.Out) }
+
+// InitScale implements Initializer.
+func (d *Dense) InitScale() float64 { return math.Sqrt(2.0 / float64(d.In)) }
+
+// ResetParams implements Initializer.
+func (d *Dense) ResetParams(rng *rand.Rand) {
+	std := d.InitScale()
+	for i, data := 0, d.w.Data(); i < len(data); i++ {
+		data[i] = rng.NormFloat64() * std
+	}
+	d.b.Zero()
+}
+
+// Forward implements Layer. x has shape [B, In].
+func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Dims() != 2 || x.Dim(1) != d.In {
+		panic(fmt.Sprintf("nn: dense %s got input %v", d.Name(), x.Shape()))
+	}
+	d.lastX = x
+	batch := x.Dim(0)
+	wt, err := tensor.Transpose2D(d.w)
+	if err != nil {
+		panic(err)
+	}
+	out, err := tensor.MatMul(x, wt)
+	if err != nil {
+		panic(err)
+	}
+	od, bd := out.Data(), d.b.Data()
+	for i := 0; i < batch; i++ {
+		row := od[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if d.lastX == nil {
+		panic("nn: dense Backward before Forward")
+	}
+	batch := gradOut.Dim(0)
+	// gw = gradOutᵀ × x  => [Out, In]
+	gt, err := tensor.Transpose2D(gradOut)
+	if err != nil {
+		panic(err)
+	}
+	if err := tensor.MatMulInto(d.gw, gt, d.lastX); err != nil {
+		panic(err)
+	}
+	// gb = column sums of gradOut.
+	d.gb.Zero()
+	god, gbd := gradOut.Data(), d.gb.Data()
+	for i := 0; i < batch; i++ {
+		row := god[i*d.Out : (i+1)*d.Out]
+		for j, v := range row {
+			gbd[j] += v
+		}
+	}
+	// gradIn = gradOut × W => [B, In]
+	gradIn, err := tensor.MatMul(gradOut, d.w)
+	if err != nil {
+		panic(err)
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.w, d.b} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.gw, d.gb} }

@@ -1,0 +1,72 @@
+// Package nn implements a from-scratch neural-network engine with analytic
+// backpropagation. It is the deep-learning substrate for the DINAR
+// reproduction: models are sequences of layers, each layer computes an exact
+// forward pass and an exact gradient with respect to both its input and its
+// parameters.
+//
+// The engine supports the four model families of the paper (ResNet20, VGG11,
+// M18, 6-layer FCNN) via Dense, Conv2D, Conv1D, BatchNorm, pooling,
+// activation, and residual-block layers.
+//
+// Shape conventions (batch-first):
+//
+//	dense inputs:     [B, F]
+//	2-D conv inputs:  [B, C, H, W]
+//	1-D conv inputs:  [B, C, L]
+//
+// Shape errors indicate a programming error in model construction (shapes are
+// fixed once a model is built), so Forward/Backward panic on mismatch rather
+// than returning errors; model builders in internal/model validate shapes at
+// construction time.
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Layer is one differentiable stage of a model.
+//
+// Forward consumes a batch and returns the layer output; train toggles
+// training-time behaviour (e.g. batch statistics in BatchNorm). Backward
+// consumes the gradient of the loss with respect to the layer output and
+// returns the gradient with respect to the layer input, accumulating
+// parameter gradients internally. A Backward call must be preceded by a
+// Forward call on the same data.
+type Layer interface {
+	// Name returns a short human-readable identifier, e.g. "dense(64->10)".
+	Name() string
+	// Forward computes the layer output for a batch.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward computes the gradient with respect to the input and stores
+	// parameter gradients (overwriting any previous gradients).
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameter tensors (possibly none).
+	// The returned slice must have a stable order across calls.
+	Params() []*tensor.Tensor
+	// Grads returns gradient tensors aligned one-to-one with Params.
+	Grads() []*tensor.Tensor
+}
+
+// Initializer is implemented by layers whose parameters can be
+// (re-)initialized from a random source. ResetParams draws fresh parameters
+// from the layer's initialization distribution; it is used both at model
+// construction and by DINAR's obfuscation (which replaces a layer's uploaded
+// parameters with "random values" drawn from the same distribution).
+type Initializer interface {
+	ResetParams(rng *rand.Rand)
+	// InitScale returns the standard deviation of the layer's weight
+	// initialization distribution; obfuscators use it to generate plausible
+	// random parameter values without access to the layer itself.
+	InitScale() float64
+}
+
+// paramsOf concatenates the parameter counts of tensors.
+func numel(ts []*tensor.Tensor) int {
+	n := 0
+	for _, t := range ts {
+		n += t.Len()
+	}
+	return n
+}

@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm normalizes activations per channel (dimension 1) over all other
+// axes. It supports dense [B, F], 1-D conv [B, C, L], and 2-D conv
+// [B, C, H, W] inputs. Training mode uses batch statistics and updates
+// exponential running statistics; evaluation mode uses the running statistics.
+type BatchNorm struct {
+	C        int
+	Eps      float64
+	Momentum float64
+
+	gamma, beta *tensor.Tensor
+	gGamma      *tensor.Tensor
+	gBeta       *tensor.Tensor
+
+	runMean, runVar *tensor.Tensor
+
+	// forward cache
+	lastShape []int
+	xhat      []float64
+	invStd    []float64
+}
+
+var (
+	_ Layer       = (*BatchNorm)(nil)
+	_ Initializer = (*BatchNorm)(nil)
+)
+
+// NewBatchNorm returns a batch-normalization layer over c channels.
+func NewBatchNorm(c int) *BatchNorm {
+	b := &BatchNorm{
+		C:        c,
+		Eps:      1e-5,
+		Momentum: 0.1,
+		gamma:    tensor.Full(1, c),
+		beta:     tensor.New(c),
+		gGamma:   tensor.New(c),
+		gBeta:    tensor.New(c),
+		runMean:  tensor.New(c),
+		runVar:   tensor.Full(1, c),
+	}
+	return b
+}
+
+// Name implements Layer.
+func (b *BatchNorm) Name() string { return fmt.Sprintf("batchnorm(%d)", b.C) }
+
+// InitScale implements Initializer. BatchNorm's "random" re-initialization
+// used by obfuscation draws gamma around 1 and beta around 0.
+func (b *BatchNorm) InitScale() float64 { return 0.1 }
+
+// ResetParams implements Initializer.
+func (b *BatchNorm) ResetParams(rng *rand.Rand) {
+	gd, bd := b.gamma.Data(), b.beta.Data()
+	for i := range gd {
+		gd[i] = 1
+		bd[i] = 0
+	}
+	_ = rng // deterministic reset: gamma=1, beta=0
+}
+
+// RunningStats returns the running mean and variance tensors (live views;
+// serialized alongside parameters by the model's state codec).
+func (b *BatchNorm) RunningStats() (mean, variance *tensor.Tensor) {
+	return b.runMean, b.runVar
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() < 2 || x.Dim(1) != b.C {
+		panic(fmt.Sprintf("nn: %s got input %v", b.Name(), x.Shape()))
+	}
+	b.lastShape = x.Shape()
+	batch := x.Dim(0)
+	spatial := x.Len() / (batch * b.C)
+	n := batch * spatial
+
+	mean := make([]float64, b.C)
+	variance := make([]float64, b.C)
+	xd := x.Data()
+	if train {
+		for c := 0; c < b.C; c++ {
+			s := 0.0
+			for bi := 0; bi < batch; bi++ {
+				base := (bi*b.C + c) * spatial
+				for i := 0; i < spatial; i++ {
+					s += xd[base+i]
+				}
+			}
+			mean[c] = s / float64(n)
+		}
+		for c := 0; c < b.C; c++ {
+			s := 0.0
+			for bi := 0; bi < batch; bi++ {
+				base := (bi*b.C + c) * spatial
+				for i := 0; i < spatial; i++ {
+					d := xd[base+i] - mean[c]
+					s += d * d
+				}
+			}
+			variance[c] = s / float64(n)
+		}
+		rm, rv := b.runMean.Data(), b.runVar.Data()
+		for c := 0; c < b.C; c++ {
+			rm[c] = (1-b.Momentum)*rm[c] + b.Momentum*mean[c]
+			rv[c] = (1-b.Momentum)*rv[c] + b.Momentum*variance[c]
+		}
+	} else {
+		copy(mean, b.runMean.Data())
+		copy(variance, b.runVar.Data())
+	}
+
+	if cap(b.xhat) < x.Len() {
+		b.xhat = make([]float64, x.Len())
+	}
+	b.xhat = b.xhat[:x.Len()]
+	if cap(b.invStd) < b.C {
+		b.invStd = make([]float64, b.C)
+	}
+	b.invStd = b.invStd[:b.C]
+	for c := 0; c < b.C; c++ {
+		// Aggregation or perturbation defenses could drive a running
+		// variance slightly negative; clamp to keep invStd finite.
+		v := variance[c]
+		if v < 0 {
+			v = 0
+		}
+		b.invStd[c] = 1 / math.Sqrt(v+b.Eps)
+	}
+
+	out := tensor.New(b.lastShape...)
+	od, gd, bd := out.Data(), b.gamma.Data(), b.beta.Data()
+	for bi := 0; bi < batch; bi++ {
+		for c := 0; c < b.C; c++ {
+			base := (bi*b.C + c) * spatial
+			m, is, g, bt := mean[c], b.invStd[c], gd[c], bd[c]
+			for i := 0; i < spatial; i++ {
+				xh := (xd[base+i] - m) * is
+				b.xhat[base+i] = xh
+				od[base+i] = g*xh + bt
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer. It assumes the preceding Forward ran with
+// train=true (batch statistics), which is always the case during training.
+func (b *BatchNorm) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if b.lastShape == nil {
+		panic("nn: batchnorm Backward before Forward")
+	}
+	batch := b.lastShape[0]
+	spatial := gradOut.Len() / (batch * b.C)
+	n := float64(batch * spatial)
+
+	b.gGamma.Zero()
+	b.gBeta.Zero()
+	ggd, gbd := b.gGamma.Data(), b.gBeta.Data()
+	god := gradOut.Data()
+	for bi := 0; bi < batch; bi++ {
+		for c := 0; c < b.C; c++ {
+			base := (bi*b.C + c) * spatial
+			for i := 0; i < spatial; i++ {
+				g := god[base+i]
+				gbd[c] += g
+				ggd[c] += g * b.xhat[base+i]
+			}
+		}
+	}
+
+	gradIn := tensor.New(b.lastShape...)
+	gid, gmd := gradIn.Data(), b.gamma.Data()
+	for bi := 0; bi < batch; bi++ {
+		for c := 0; c < b.C; c++ {
+			base := (bi*b.C + c) * spatial
+			k := gmd[c] * b.invStd[c]
+			dbeta, dgamma := gbd[c]/n, ggd[c]/n
+			for i := 0; i < spatial; i++ {
+				gid[base+i] = k * (god[base+i] - dbeta - b.xhat[base+i]*dgamma)
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{b.gamma, b.beta} }
+
+// Grads implements Layer.
+func (b *BatchNorm) Grads() []*tensor.Tensor { return []*tensor.Tensor{b.gGamma, b.gBeta} }

@@ -1,0 +1,291 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2D is a 2-D max pooling layer over [B, C, H, W] inputs with a square
+// window and equal stride (the common VGG configuration).
+type MaxPool2D struct {
+	K, Stride int
+
+	argmax    []int
+	lastShape []int
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D returns a max-pooling layer with window k and stride k.
+func NewMaxPool2D(k int) *MaxPool2D { return &MaxPool2D{K: k, Stride: k} }
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return fmt.Sprintf("maxpool2d(%d)", p.K) }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("nn: %s got input %v", p.Name(), x.Shape()))
+	}
+	batch, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := h/p.Stride, w/p.Stride
+	if oh == 0 || ow == 0 {
+		panic(fmt.Sprintf("nn: %s output empty for input %v", p.Name(), x.Shape()))
+	}
+	p.lastShape = x.Shape()
+	out := tensor.New(batch, ch, oh, ow)
+	n := out.Len()
+	if cap(p.argmax) < n {
+		p.argmax = make([]int, n)
+	}
+	p.argmax = p.argmax[:n]
+	xd, od := x.Data(), out.Data()
+	for bc := 0; bc < batch*ch; bc++ {
+		src := xd[bc*h*w : (bc+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				bestIdx := oy*p.Stride*w + ox*p.Stride
+				best := src[bestIdx]
+				for ky := 0; ky < p.K; ky++ {
+					iy := oy*p.Stride + ky
+					if iy >= h {
+						break
+					}
+					for kx := 0; kx < p.K; kx++ {
+						ix := ox*p.Stride + kx
+						if ix >= w {
+							break
+						}
+						if v := src[iy*w+ix]; v > best {
+							best, bestIdx = v, iy*w+ix
+						}
+					}
+				}
+				oi := (bc*oh+oy)*ow + ox
+				od[oi] = best
+				p.argmax[oi] = bc*h*w + bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(p.lastShape...)
+	gid, god := gradIn.Data(), gradOut.Data()
+	for i, v := range god {
+		gid[p.argmax[i]] += v
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool2D) Grads() []*tensor.Tensor { return nil }
+
+// MaxPool1D is a 1-D max pooling layer over [B, C, L] inputs.
+type MaxPool1D struct {
+	K, Stride int
+
+	argmax    []int
+	lastShape []int
+}
+
+var _ Layer = (*MaxPool1D)(nil)
+
+// NewMaxPool1D returns a 1-D max-pooling layer with window k and stride k.
+func NewMaxPool1D(k int) *MaxPool1D { return &MaxPool1D{K: k, Stride: k} }
+
+// Name implements Layer.
+func (p *MaxPool1D) Name() string { return fmt.Sprintf("maxpool1d(%d)", p.K) }
+
+// Forward implements Layer.
+func (p *MaxPool1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Dims() != 3 {
+		panic(fmt.Sprintf("nn: %s got input %v", p.Name(), x.Shape()))
+	}
+	batch, ch, l := x.Dim(0), x.Dim(1), x.Dim(2)
+	ol := l / p.Stride
+	if ol == 0 {
+		panic(fmt.Sprintf("nn: %s output empty for input %v", p.Name(), x.Shape()))
+	}
+	p.lastShape = x.Shape()
+	out := tensor.New(batch, ch, ol)
+	n := out.Len()
+	if cap(p.argmax) < n {
+		p.argmax = make([]int, n)
+	}
+	p.argmax = p.argmax[:n]
+	xd, od := x.Data(), out.Data()
+	for bc := 0; bc < batch*ch; bc++ {
+		src := xd[bc*l : (bc+1)*l]
+		for o := 0; o < ol; o++ {
+			bestIdx := o * p.Stride
+			best := src[bestIdx]
+			for k := 1; k < p.K; k++ {
+				i := o*p.Stride + k
+				if i >= l {
+					break
+				}
+				if v := src[i]; v > best {
+					best, bestIdx = v, i
+				}
+			}
+			oi := bc*ol + o
+			od[oi] = best
+			p.argmax[oi] = bc*l + bestIdx
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool1D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(p.lastShape...)
+	gid, god := gradIn.Data(), gradOut.Data()
+	for i, v := range god {
+		gid[p.argmax[i]] += v
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (p *MaxPool1D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool1D) Grads() []*tensor.Tensor { return nil }
+
+// GlobalAvgPool averages over all spatial positions, mapping [B, C, ...] to
+// [B, C]. It works for both 2-D (4-D tensors) and 1-D (3-D tensors) inputs.
+type GlobalAvgPool struct {
+	lastShape []int
+}
+
+var _ Layer = (*GlobalAvgPool)(nil)
+
+// NewGlobalAvgPool returns a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Name implements Layer.
+func (p *GlobalAvgPool) Name() string { return "globalavgpool" }
+
+// Forward implements Layer.
+func (p *GlobalAvgPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Dims() < 3 {
+		panic(fmt.Sprintf("nn: %s got input %v", p.Name(), x.Shape()))
+	}
+	batch, ch := x.Dim(0), x.Dim(1)
+	spatial := x.Len() / (batch * ch)
+	p.lastShape = x.Shape()
+	out := tensor.New(batch, ch)
+	xd, od := x.Data(), out.Data()
+	inv := 1.0 / float64(spatial)
+	for bc := 0; bc < batch*ch; bc++ {
+		s := 0.0
+		for _, v := range xd[bc*spatial : (bc+1)*spatial] {
+			s += v
+		}
+		od[bc] = s * inv
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(p.lastShape...)
+	batch, ch := p.lastShape[0], p.lastShape[1]
+	spatial := gradIn.Len() / (batch * ch)
+	gid, god := gradIn.Data(), gradOut.Data()
+	inv := 1.0 / float64(spatial)
+	for bc := 0; bc < batch*ch; bc++ {
+		g := god[bc] * inv
+		dst := gid[bc*spatial : (bc+1)*spatial]
+		for i := range dst {
+			dst[i] = g
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (p *GlobalAvgPool) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *GlobalAvgPool) Grads() []*tensor.Tensor { return nil }
+
+// AvgPool2D is a 2-D average pooling layer with window k and stride k, used by
+// ResNet20's downsampling shortcut-free variant when needed.
+type AvgPool2D struct {
+	K int
+
+	lastShape []int
+}
+
+var _ Layer = (*AvgPool2D)(nil)
+
+// NewAvgPool2D returns an average pooling layer with window k and stride k.
+func NewAvgPool2D(k int) *AvgPool2D { return &AvgPool2D{K: k} }
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string { return fmt.Sprintf("avgpool2d(%d)", p.K) }
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("nn: %s got input %v", p.Name(), x.Shape()))
+	}
+	batch, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := h/p.K, w/p.K
+	p.lastShape = x.Shape()
+	out := tensor.New(batch, ch, oh, ow)
+	xd, od := x.Data(), out.Data()
+	inv := 1.0 / float64(p.K*p.K)
+	for bc := 0; bc < batch*ch; bc++ {
+		src := xd[bc*h*w : (bc+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				s := 0.0
+				for ky := 0; ky < p.K; ky++ {
+					for kx := 0; kx < p.K; kx++ {
+						s += src[(oy*p.K+ky)*w+ox*p.K+kx]
+					}
+				}
+				od[(bc*oh+oy)*ow+ox] = s * inv
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(p.lastShape...)
+	batch, ch, h, w := p.lastShape[0], p.lastShape[1], p.lastShape[2], p.lastShape[3]
+	oh, ow := h/p.K, w/p.K
+	gid, god := gradIn.Data(), gradOut.Data()
+	inv := 1.0 / float64(p.K*p.K)
+	for bc := 0; bc < batch*ch; bc++ {
+		dst := gid[bc*h*w : (bc+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := god[(bc*oh+oy)*ow+ox] * inv
+				for ky := 0; ky < p.K; ky++ {
+					for kx := 0; kx < p.K; kx++ {
+						dst[(oy*p.K+ky)*w+ox*p.K+kx] += g
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (p *AvgPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *AvgPool2D) Grads() []*tensor.Tensor { return nil }

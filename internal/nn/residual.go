@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Composite is implemented by layers that contain sub-layers; model
+// introspection (parameter spans, per-layer obfuscation) walks through
+// composites to reach the primitive weight-bearing layers.
+type Composite interface {
+	Sublayers() []Layer
+}
+
+// Residual is a pre-activation-free basic residual block:
+//
+//	out = ReLU( BN2(Conv2(ReLU(BN1(Conv1(x))))) + shortcut(x) )
+//
+// where shortcut is identity when shapes match and a strided 1×1
+// convolution + BatchNorm projection otherwise (the ResNet20 configuration).
+type Residual struct {
+	conv1, conv2 *Conv2D
+	bn1, bn2     *BatchNorm
+	relu1        *ReLU
+
+	projConv *Conv2D    // nil for identity shortcut
+	projBN   *BatchNorm // nil for identity shortcut
+
+	outRelu    *ReLU
+	lastX      *tensor.Tensor
+	lastSumLen int
+}
+
+var (
+	_ Layer       = (*Residual)(nil)
+	_ Composite   = (*Residual)(nil)
+	_ SkipWrapped = (*Residual)(nil)
+)
+
+// NewResidual returns a basic residual block mapping inC channels to outC
+// channels with the given stride on the first convolution. When stride != 1
+// or inC != outC the shortcut is a 1×1 strided convolution with BatchNorm.
+func NewResidual(inC, outC, stride int, rng *rand.Rand) *Residual {
+	r := &Residual{
+		conv1:   NewConv2D(inC, outC, 3, stride, 1, rng),
+		bn1:     NewBatchNorm(outC),
+		relu1:   NewReLU(),
+		conv2:   NewConv2D(outC, outC, 3, 1, 1, rng),
+		bn2:     NewBatchNorm(outC),
+		outRelu: NewReLU(),
+	}
+	if stride != 1 || inC != outC {
+		r.projConv = NewConv2D(inC, outC, 1, stride, 0, rng)
+		r.projBN = NewBatchNorm(outC)
+	}
+	return r
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string {
+	return fmt.Sprintf("residual(%d->%d,s%d)", r.conv1.InC, r.conv1.OutC, r.conv1.Stride)
+}
+
+// SkipWrapped implements SkipWrapped: the block's sub-layers are bypassed by
+// the shortcut, so obfuscating any single one of them leaves the model
+// functional.
+func (r *Residual) SkipWrapped() {}
+
+// Sublayers implements Composite. Order matters: it defines the parameter
+// layout of the block.
+func (r *Residual) Sublayers() []Layer {
+	ls := []Layer{r.conv1, r.bn1, r.conv2, r.bn2}
+	if r.projConv != nil {
+		ls = append(ls, r.projConv, r.projBN)
+	}
+	return ls
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.lastX = x
+	h := r.conv1.Forward(x, train)
+	h = r.bn1.Forward(h, train)
+	h = r.relu1.Forward(h, train)
+	h = r.conv2.Forward(h, train)
+	h = r.bn2.Forward(h, train)
+
+	var sc *tensor.Tensor
+	if r.projConv != nil {
+		sc = r.projConv.Forward(x, train)
+		sc = r.projBN.Forward(sc, train)
+	} else {
+		sc = x
+	}
+	if err := h.AddInPlace(sc); err != nil {
+		panic(fmt.Sprintf("nn: %s shortcut mismatch: %v", r.Name(), err))
+	}
+	r.lastSumLen = h.Len()
+	return r.outRelu.Forward(h, train)
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	g := r.outRelu.Backward(gradOut)
+
+	// Main path.
+	gm := r.bn2.Backward(g)
+	gm = r.conv2.Backward(gm)
+	gm = r.relu1.Backward(gm)
+	gm = r.bn1.Backward(gm)
+	gm = r.conv1.Backward(gm)
+
+	// Shortcut path.
+	var gs *tensor.Tensor
+	if r.projConv != nil {
+		gs = r.projBN.Backward(g)
+		gs = r.projConv.Backward(gs)
+	} else {
+		gs = g
+	}
+	if err := gm.AddInPlace(gs); err != nil {
+		panic(fmt.Sprintf("nn: %s backward shortcut mismatch: %v", r.Name(), err))
+	}
+	return gm
+}
+
+// Params implements Layer, concatenating sub-layer parameters in Sublayers
+// order.
+func (r *Residual) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range r.Sublayers() {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads implements Layer.
+func (r *Residual) Grads() []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, l := range r.Sublayers() {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}

@@ -1,0 +1,215 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// quadratic is a convex test problem: f(x) = ½ Σ c_i x_i² with minimum at 0.
+type quadratic struct {
+	c []float64
+	x *tensor.Tensor
+	g *tensor.Tensor
+}
+
+func newQuadratic(seed int64, n int) *quadratic {
+	rng := rand.New(rand.NewSource(seed))
+	q := &quadratic{
+		c: make([]float64, n),
+		x: tensor.Randn(rng, 0, 1, n),
+		g: tensor.New(n),
+	}
+	for i := range q.c {
+		q.c[i] = 0.5 + rng.Float64()*2
+	}
+	return q
+}
+
+func (q *quadratic) loss() float64 {
+	s := 0.0
+	for i, v := range q.x.Data() {
+		s += 0.5 * q.c[i] * v * v
+	}
+	return s
+}
+
+func (q *quadratic) grad() {
+	for i, v := range q.x.Data() {
+		q.g.Data()[i] = q.c[i] * v
+	}
+}
+
+func optimizeQuadratic(t *testing.T, opt Optimizer, steps int) (initial, final float64) {
+	t.Helper()
+	q := newQuadratic(11, 16)
+	initial = q.loss()
+	params := []*tensor.Tensor{q.x}
+	grads := []*tensor.Tensor{q.g}
+	for i := 0; i < steps; i++ {
+		q.grad()
+		opt.Step(params, grads)
+	}
+	return initial, q.loss()
+}
+
+func TestOptimizersReduceConvexLoss(t *testing.T) {
+	tests := []struct {
+		name  string
+		opt   Optimizer
+		steps int
+	}{
+		{"sgd", NewSGD(0.1, 0), 200},
+		{"sgd-momentum", NewSGD(0.05, 0.9), 200},
+		{"adagrad", NewAdagrad(0.5), 400},
+		{"adam", NewAdam(0.05), 400},
+		{"adamax", NewAdaMax(0.05), 400},
+		{"rmsprop", NewRMSProp(0.01), 400},
+		{"adgd", NewADGD(0.01), 200},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			initial, final := optimizeQuadratic(t, tt.opt, tt.steps)
+			if final >= initial*0.01 {
+				t.Fatalf("%s: loss %v -> %v, expected >99%% reduction", tt.name, initial, final)
+			}
+		})
+	}
+}
+
+func TestAdagradMatchesAlgorithmOne(t *testing.T) {
+	// Hand-computed: one parameter, g=2, lr=0.1.
+	// Step 1: G=4, x -= 0.1*2/sqrt(4+1e-5).
+	p := tensor.MustFromSlice([]float64{1}, 1)
+	g := tensor.MustFromSlice([]float64{2}, 1)
+	opt := NewAdagrad(0.1)
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	want := 1 - 0.1*2/math.Sqrt(4+1e-5)
+	if math.Abs(p.At(0)-want) > 1e-12 {
+		t.Fatalf("step 1: x = %v, want %v", p.At(0), want)
+	}
+	// Step 2 with g=1: G=5.
+	g.Set(1, 0)
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	want -= 0.1 * 1 / math.Sqrt(5+1e-5)
+	if math.Abs(p.At(0)-want) > 1e-12 {
+		t.Fatalf("step 2: x = %v, want %v", p.At(0), want)
+	}
+}
+
+func TestSGDKnownStep(t *testing.T) {
+	p := tensor.MustFromSlice([]float64{1, 2}, 2)
+	g := tensor.MustFromSlice([]float64{0.5, -0.5}, 2)
+	NewSGD(0.1, 0).Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	if math.Abs(p.At(0)-0.95) > 1e-12 || math.Abs(p.At(1)-2.05) > 1e-12 {
+		t.Fatalf("sgd step: %v", p.Data())
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := tensor.MustFromSlice([]float64{0}, 1)
+	g := tensor.MustFromSlice([]float64{1}, 1)
+	opt := NewSGD(1, 0.5)
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	// v=1, x=-1
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	// v=1.5, x=-2.5
+	if math.Abs(p.At(0)+2.5) > 1e-12 {
+		t.Fatalf("momentum: x = %v, want -2.5", p.At(0))
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	p := tensor.MustFromSlice([]float64{1}, 1)
+	g := tensor.MustFromSlice([]float64{1}, 1)
+	opt := NewAdagrad(0.1)
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	opt.Reset()
+	p.Set(1, 0)
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	want := 1 - 0.1*1/math.Sqrt(1+1e-5)
+	if math.Abs(p.At(0)-want) > 1e-12 {
+		t.Fatalf("after reset: x = %v, want %v (fresh accumulator)", p.At(0), want)
+	}
+}
+
+func TestADGDLambdaStaysFinite(t *testing.T) {
+	q := newQuadratic(3, 8)
+	opt := NewADGD(0.05)
+	params := []*tensor.Tensor{q.x}
+	grads := []*tensor.Tensor{q.g}
+	for i := 0; i < 100; i++ {
+		q.grad()
+		opt.Step(params, grads)
+		if l := opt.Lambda(); math.IsNaN(l) || math.IsInf(l, 0) || l <= 0 {
+			t.Fatalf("step %d: lambda = %v", i, l)
+		}
+	}
+}
+
+func TestNewRegistry(t *testing.T) {
+	for _, name := range []string{"sgd", "adagrad", "adam", "adamax", "rmsprop", "adgd"} {
+		opt := New(name, 0.01)
+		if opt == nil {
+			t.Fatalf("New(%q) = nil", name)
+		}
+		if opt.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, opt.Name())
+		}
+	}
+	if New("nope", 0.01) != nil {
+		t.Fatal("New should return nil for unknown optimizer")
+	}
+}
+
+// Property: a zero gradient never changes parameters, for any optimizer.
+func TestQuickZeroGradientFixedPoint(t *testing.T) {
+	names := []string{"sgd", "adagrad", "adam", "adamax", "rmsprop", "adgd"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, name := range names {
+			opt := New(name, 0.1)
+			p := tensor.Randn(rng, 0, 1, 5)
+			before := append([]float64(nil), p.Data()...)
+			g := tensor.New(5)
+			// Two steps to exercise stateful paths.
+			opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+			opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+			for i := range before {
+				if p.Data()[i] != before[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SGD steps are homogeneous in the learning rate: stepping with
+// lr and gradient g moves the parameter by exactly -lr*g.
+func TestQuickSGDLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lr := 0.001 + rng.Float64()
+		p := tensor.Randn(rng, 0, 1, 4)
+		g := tensor.Randn(rng, 0, 1, 4)
+		before := append([]float64(nil), p.Data()...)
+		NewSGD(lr, 0).Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+		for i := range before {
+			want := before[i] - lr*g.Data()[i]
+			if math.Abs(p.Data()[i]-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

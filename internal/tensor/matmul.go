@@ -1,0 +1,157 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MatMul returns a × b for 2-D tensors a (m×k) and b (k×n). The multiply is
+// blocked over rows and parallelized across GOMAXPROCS goroutines when the
+// output is large enough to amortize the scheduling cost.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return nil, fmt.Errorf("%w: matmul %v x %v", ErrShapeMismatch, a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("%w: matmul inner %d != %d", ErrShapeMismatch, k, k2)
+	}
+	out := New(m, n)
+	matMulInto(out.data, a.data, b.data, m, k, n)
+	return out, nil
+}
+
+// MatMulInto computes out = a × b, reusing out's storage. out must be m×n.
+func MatMulInto(out, a, b *Tensor) error {
+	if a.Dims() != 2 || b.Dims() != 2 || out.Dims() != 2 {
+		return fmt.Errorf("%w: matmul-into ranks", ErrShapeMismatch)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || out.shape[0] != m || out.shape[1] != n {
+		return fmt.Errorf("%w: matmul-into %v x %v -> %v", ErrShapeMismatch, a.shape, b.shape, out.shape)
+	}
+	matMulInto(out.data, a.data, b.data, m, k, n)
+	return nil
+}
+
+// parallelThreshold is the minimum number of multiply-accumulate operations
+// below which matMulInto stays single-threaded.
+const parallelThreshold = 1 << 16
+
+func matMulInto(out, a, b []float64, m, k, n int) {
+	workers := runtime.GOMAXPROCS(0)
+	if m*k*n < parallelThreshold || workers <= 1 || m == 1 {
+		matMulRows(out, a, b, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	rowsPer := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		hi := lo + rowsPer
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRows(out, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRows computes rows [lo,hi) of out = a×b using an ikj loop order that
+// streams b row-wise for cache friendliness.
+func matMulRows(out, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		oRow := out[i*n : (i+1)*n]
+		for x := range oRow {
+			oRow[x] = 0
+		}
+		aRow := a[i*k : (i+1)*k]
+		for p, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			bRow := b[p*n : (p+1)*n]
+			for j, bv := range bRow {
+				oRow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(t *Tensor) (*Tensor, error) {
+	if t.Dims() != 2 {
+		return nil, fmt.Errorf("%w: transpose %v", ErrShapeMismatch, t.shape)
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = t.data[i*n+j]
+		}
+	}
+	return out, nil
+}
+
+// MatVec returns a × v for a 2-D tensor a (m×k) and 1-D tensor v (k).
+func MatVec(a, v *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 || v.Dims() != 1 || a.shape[1] != v.shape[0] {
+		return nil, fmt.Errorf("%w: matvec %v x %v", ErrShapeMismatch, a.shape, v.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	out := New(m)
+	for i := 0; i < m; i++ {
+		s := 0.0
+		row := a.data[i*k : (i+1)*k]
+		for j, av := range row {
+			s += av * v.data[j]
+		}
+		out.data[i] = s
+	}
+	return out, nil
+}
+
+// Outer returns the outer product u vᵀ of two 1-D tensors.
+func Outer(u, v *Tensor) (*Tensor, error) {
+	if u.Dims() != 1 || v.Dims() != 1 {
+		return nil, fmt.Errorf("%w: outer %v x %v", ErrShapeMismatch, u.shape, v.shape)
+	}
+	m, n := u.shape[0], v.shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ui := u.data[i]
+		if ui == 0 {
+			continue
+		}
+		row := out.data[i*n : (i+1)*n]
+		for j, vj := range v.data {
+			row[j] = ui * vj
+		}
+	}
+	return out, nil
+}
+
+// Dot returns the dot product of two tensors viewed as flat vectors.
+func Dot(a, b *Tensor) (float64, error) {
+	if len(a.data) != len(b.data) {
+		return 0, fmt.Errorf("%w: dot %v . %v", ErrShapeMismatch, a.shape, b.shape)
+	}
+	s := 0.0
+	for i, v := range a.data {
+		s += v * b.data[i]
+	}
+	return s, nil
+}

@@ -1,0 +1,247 @@
+package dinar
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/consensus"
+	"repro/internal/data"
+	"repro/internal/defense"
+	"repro/internal/fl"
+	"repro/internal/flnet"
+	"repro/internal/leakage"
+	"repro/internal/model"
+	"repro/internal/optim"
+)
+
+// ServerOptions configures a TCP middleware server process.
+type ServerOptions struct {
+	// Addr is the listen address, e.g. "127.0.0.1:7070" (":0" for an
+	// ephemeral port).
+	Addr string
+	// Config describes the federation; Dataset/Defense/Clients/Rounds/Seed
+	// must match the client processes.
+	Config Config
+}
+
+// MiddlewareServer is a running TCP FL server.
+type MiddlewareServer struct {
+	inner *flnet.Server
+}
+
+// NewMiddlewareServer builds the initial global model for the configured
+// dataset and starts listening.
+func NewMiddlewareServer(opts ServerOptions) (*MiddlewareServer, error) {
+	cfg := opts.Config.withDefaults()
+	spec, err := data.Lookup(cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	m, err := model.Build(spec, rand.New(rand.NewSource(cfg.Seed+2)))
+	if err != nil {
+		return nil, err
+	}
+	def, err := defense.New(cfg.Defense, cfg.Seed+7, cfg.Clients)
+	if err != nil {
+		return nil, err
+	}
+	if err := def.Bind(fl.InfoOf(m)); err != nil {
+		return nil, err
+	}
+	srv, err := flnet.NewServer(flnet.ServerConfig{
+		Addr:         opts.Addr,
+		NumClients:   cfg.Clients,
+		Rounds:       cfg.Rounds,
+		Defense:      def,
+		InitialState: m.StateVector(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MiddlewareServer{inner: srv}, nil
+}
+
+// Addr returns the bound address (connect clients here).
+func (s *MiddlewareServer) Addr() string { return s.inner.Addr().String() }
+
+// Serve orchestrates all rounds and returns the final global state vector.
+func (s *MiddlewareServer) Serve(ctx context.Context) ([]float64, error) {
+	return s.inner.Run(ctx)
+}
+
+// Close stops the server's listener.
+func (s *MiddlewareServer) Close() error { return s.inner.Close() }
+
+// ClientOptions configures a TCP middleware client process.
+type ClientOptions struct {
+	// Addr is the server's address.
+	Addr string
+	// Config must match the server's configuration.
+	Config Config
+	// ClientID is this participant's index in [0, Config.Clients).
+	ClientID int
+}
+
+// ParticipantResult reports a finished client's outcome.
+type ParticipantResult struct {
+	// FinalGlobalState is the last broadcast global model.
+	FinalGlobalState []float64
+	// Accuracy is the personalized model's test accuracy.
+	Accuracy float64
+}
+
+// RunMiddlewareClient builds the client's deterministic data shard and local
+// model (all processes derive the identical partition from Config.Seed),
+// then participates in the federation until the server finishes.
+func RunMiddlewareClient(ctx context.Context, opts ClientOptions) (*ParticipantResult, error) {
+	cfg := opts.Config.withDefaults()
+	if opts.ClientID < 0 || opts.ClientID >= cfg.Clients {
+		return nil, fmt.Errorf("dinar: client id %d out of range [0,%d)", opts.ClientID, cfg.Clients)
+	}
+	spec, err := data.Lookup(cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Records > 0 {
+		spec.Records = cfg.Records
+	}
+	ds, err := data.Generate(spec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	split := data.NewFLSplit(ds, rng)
+	var shards []*data.Dataset
+	if math.IsInf(cfg.DirichletAlpha, 1) {
+		shards, err = data.PartitionIID(split.Train, cfg.Clients, rng)
+	} else {
+		shards, err = data.PartitionDirichlet(split.Train, cfg.Clients, cfg.DirichletAlpha, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	m, err := model.Build(spec, rand.New(rand.NewSource(cfg.Seed+2)))
+	if err != nil {
+		return nil, err
+	}
+	opt := optim.New(cfg.Optimizer, cfg.LearningRate)
+	if opt == nil {
+		return nil, fmt.Errorf("dinar: unknown optimizer %q", cfg.Optimizer)
+	}
+	trainer, err := fl.NewClient(opts.ClientID, m, shards[opts.ClientID], opt,
+		cfg.BatchSize, cfg.LocalEpochs, rand.New(rand.NewSource(cfg.Seed+100+int64(opts.ClientID))))
+	if err != nil {
+		return nil, err
+	}
+	def, err := defense.New(cfg.Defense, cfg.Seed+7, cfg.Clients)
+	if err != nil {
+		return nil, err
+	}
+	if err := def.Bind(fl.InfoOf(m)); err != nil {
+		return nil, err
+	}
+
+	final, err := flnet.RunClient(ctx, flnet.ClientConfig{
+		Addr:    opts.Addr,
+		Trainer: trainer,
+		Defense: def,
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc, _, err := trainer.Evaluate(split.Test)
+	if err != nil {
+		return nil, err
+	}
+	return &ParticipantResult{FinalGlobalState: final, Accuracy: acc}, nil
+}
+
+// ChoosePrivateLayer runs DINAR's initialization phase (§4.1): every client
+// trains a local probe model on its own shard, measures per-layer
+// membership leakage (Jensen–Shannon generalization gap), votes for the most
+// sensitive layer, and the federation agrees via the Byzantine-tolerant
+// broadcast vote. It returns the agreed layer index.
+//
+// byzantine, if non-empty, marks client indices that vote arbitrarily.
+func ChoosePrivateLayer(ctx context.Context, cfg Config, byzantine []int) (int, error) {
+	cfg = cfg.withDefaults()
+	spec, err := data.Lookup(cfg.Dataset)
+	if err != nil {
+		return -1, err
+	}
+	if cfg.Records > 0 {
+		spec.Records = cfg.Records
+	}
+	ds, err := data.Generate(spec, cfg.Seed)
+	if err != nil {
+		return -1, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	split := data.NewFLSplit(ds, rng)
+	shards, err := data.PartitionIID(split.Train, cfg.Clients, rng)
+	if err != nil {
+		return -1, err
+	}
+
+	byz := make(map[int]bool, len(byzantine))
+	for _, id := range byzantine {
+		byz[id] = true
+	}
+
+	analyzer := leakage.NewAnalyzer()
+	nodes := make([]consensus.Node, cfg.Clients)
+	numLayers := 0
+	for i := 0; i < cfg.Clients; i++ {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
+		m, err := model.Build(spec, rand.New(rand.NewSource(cfg.Seed+2)))
+		if err != nil {
+			return -1, err
+		}
+		numLayers = m.NumLayers()
+		if byz[i] {
+			nodes[i] = consensus.Node{ID: i, Byzantine: true}
+			continue
+		}
+		// Local probe training on the client's own members (Dᵢᵐ). The probe
+		// uses moderate SGD for a handful of epochs: enough overfitting to
+		// develop the member/non-member gradient gap, not so much that the
+		// leakage measurement degenerates — probed so every honest client's
+		// vote lands on the same layer.
+		// Probe hyper-parameters are fixed (not taken from cfg): the vote's
+		// stability was validated at this exact configuration, and the probe
+		// model is discarded afterwards.
+		const (
+			probeEpochs = 8
+			probeBatch  = 32
+		)
+		probeLR := fl.DefaultLearningRate(cfg.Dataset, "sgd")
+		if probeLR > 0.2 {
+			probeLR = 0.2
+		}
+		opt := optim.New("sgd", probeLR)
+		trainer, err := fl.NewClient(i, m, shards[i], opt, probeBatch, probeEpochs,
+			rand.New(rand.NewSource(cfg.Seed+200+int64(i))))
+		if err != nil {
+			return -1, err
+		}
+		if _, err := trainer.TrainLocal(); err != nil {
+			return -1, err
+		}
+		// Divergence between the client's members Dᵢᵐ and non-members Dᵢⁿ.
+		div, err := analyzer.LayerDivergence(m, shards[i], split.Test)
+		if err != nil {
+			return -1, err
+		}
+		nodes[i] = consensus.Node{ID: i, Vote: leakage.MostSensitiveLayer(div)}
+	}
+	res, err := consensus.Run(ctx, nodes, numLayers, rand.New(rand.NewSource(cfg.Seed+300)))
+	if err != nil {
+		return -1, err
+	}
+	return res.Value, nil
+}
