@@ -1,0 +1,26 @@
+# Tier-1 verification plus the stricter gates (vet, race detector).
+#
+#   make verify   - tier-1: build + full test suite
+#   make vet      - static analysis
+#   make race     - full suite under the race detector (slow)
+#   make check    - everything above
+#   make fuzz     - short fuzz pass over the wire-protocol decoder
+
+GO ?= go
+
+.PHONY: verify vet race check fuzz
+
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: verify vet race
+
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzReadMessage -fuzztime=30s ./internal/flnet/

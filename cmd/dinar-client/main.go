@@ -36,6 +36,9 @@ func run(args []string) error {
 		rounds  = fs.Int("rounds", 5, "number of FL rounds")
 		seed    = fs.Int64("seed", 1, "federation seed (must match server)")
 		records = fs.Int("records", 1000, "dataset record count")
+
+		maxRetries = fs.Int("max-retries", 0, "reconnection attempts after a network fault (0 = default 5, negative disables)")
+		backoff    = fs.Duration("base-backoff", 0, "first reconnection delay, doubled per failure with jitter (0 = default 100ms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +58,11 @@ func run(args []string) error {
 			Rounds:  *rounds,
 			Seed:    *seed,
 			Records: *records,
+		},
+		MaxRetries:  *maxRetries,
+		BaseBackoff: *backoff,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
 		},
 	})
 	if err != nil {

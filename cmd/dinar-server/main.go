@@ -39,6 +39,10 @@ func run(args []string) error {
 		rounds  = fs.Int("rounds", 5, "number of FL rounds")
 		seed    = fs.Int64("seed", 1, "federation seed (must match clients)")
 		records = fs.Int("records", 1000, "dataset record count")
+
+		minClients = fs.Int("min-clients", 0, "round quorum; after -round-deadline a round aggregates with this many updates (0 = full cohort)")
+		deadline   = fs.Duration("round-deadline", 0, "per-round collection deadline; stragglers past it are evicted (0 = wait forever)")
+		ckpt       = fs.String("checkpoint", "", "snapshot file persisted every round; restarting with the same path resumes the federation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +57,12 @@ func run(args []string) error {
 			Rounds:  *rounds,
 			Seed:    *seed,
 			Records: *records,
+		},
+		MinClients:     *minClients,
+		RoundDeadline:  *deadline,
+		CheckpointPath: *ckpt,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
 		},
 	})
 	if err != nil {
@@ -69,7 +79,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("dinar-server: federation finished in %s; final global state has %d values\n",
-		time.Since(start).Round(time.Millisecond), len(final))
+	dropped := 0
+	for _, r := range srv.Reports() {
+		dropped += len(r.Dropped)
+	}
+	fmt.Printf("dinar-server: federation finished in %s; final global state has %d values (%d client drops across %d rounds)\n",
+		time.Since(start).Round(time.Millisecond), len(final), dropped, len(srv.Reports()))
 	return nil
 }

@@ -40,6 +40,17 @@ func (s *Server) GlobalState() []float64 {
 // Round returns the number of completed aggregation rounds.
 func (s *Server) Round() int { return s.round }
 
+// SetRound moves the round counter, so a federation resumed from a
+// checkpoint continues numbering where the snapshot left off (defenses
+// receive the true round index in their hooks). Negative values are
+// clamped to 0.
+func (s *Server) SetRound(r int) {
+	if r < 0 {
+		r = 0
+	}
+	s.round = r
+}
+
 // Aggregate folds the round's client updates into a new global state via the
 // defense's aggregation rule and advances the round counter.
 func (s *Server) Aggregate(updates []*Update) error {

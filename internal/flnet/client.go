@@ -3,6 +3,7 @@ package flnet
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -22,11 +23,32 @@ type ClientConfig struct {
 	// bounds each read/write (default 2 minutes).
 	DialTimeout time.Duration
 	IOTimeout   time.Duration
+	// MaxRetries is the number of reconnection attempts after a dial or
+	// per-round I/O failure. Each successfully completed round resets the
+	// consecutive-failure count. 0 means the default (5); negative
+	// disables retry entirely.
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; consecutive
+	// failures double it (with jitter in [0.5x, 1.5x)) up to a 10s cap.
+	// 0 means the default (100ms).
+	BaseBackoff time.Duration
+	// Logf receives reconnection progress lines (optional).
+	Logf func(format string, args ...any)
 }
+
+// defaultMaxBackoff caps the exponential backoff between reconnects.
+const defaultMaxBackoff = 10 * time.Second
 
 // RunClient connects to the server, participates in every round until the
 // server sends Done, installs the final (personalized) model into the
 // trainer, and returns the final global state.
+//
+// Network faults — a failed dial, a dropped or reset connection, a
+// timed-out read — are retried with exponential backoff and jitter up to
+// MaxRetries consecutive failures. On reconnect the Hello frame carries
+// the last round this client completed, and the server resyncs the client
+// by resending the current round's global state. Local training errors
+// and server rejections are not retried.
 func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
 	if cfg.Trainer == nil || cfg.Defense == nil {
 		return nil, fmt.Errorf("flnet: client needs Trainer and Defense")
@@ -37,10 +59,78 @@ func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
 	if cfg.IOTimeout == 0 {
 		cfg.IOTimeout = 2 * time.Minute
 	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 5
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BaseBackoff == 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	// Deterministic per-client jitter keeps test runs reproducible while
+	// still decorrelating real clients' retry storms.
+	rng := rand.New(rand.NewSource(int64(cfg.Trainer.ID)*2654435761 + 1))
+
+	lastCompleted := -1
+	failures := 0
+	for {
+		before := lastCompleted
+		final, err := runSession(ctx, cfg, &lastCompleted)
+		if err == nil {
+			return final, nil
+		}
+		if !err.retryable || ctx.Err() != nil {
+			return nil, err.err
+		}
+		if lastCompleted > before {
+			failures = 0 // the session made progress; restart the budget
+		}
+		failures++
+		if failures > cfg.MaxRetries {
+			return nil, fmt.Errorf("flnet: client %d giving up after %d consecutive failures: %w",
+				cfg.Trainer.ID, failures, err.err)
+		}
+		backoff := cfg.BaseBackoff << (failures - 1)
+		if backoff > defaultMaxBackoff {
+			backoff = defaultMaxBackoff
+		}
+		sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+		cfg.Logf("flnet: client %d retry %d/%d in %s after: %v",
+			cfg.Trainer.ID, failures, cfg.MaxRetries, sleep, err.err)
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// sessionError classifies a failed session: retryable errors are network
+// faults worth a reconnect; the rest (training failures, server
+// rejections) abort the client.
+type sessionError struct {
+	err       error
+	retryable bool
+}
+
+func retryableErr(err error) *sessionError { return &sessionError{err: err, retryable: true} }
+func permanentErr(err error) *sessionError { return &sessionError{err: err, retryable: false} }
+
+// runSession runs one connection's worth of the protocol: dial, hello,
+// rounds, done. lastCompleted is advanced after every update the server
+// received in full, so a later session's Hello tells the server where
+// this client left off.
+func runSession(ctx context.Context, cfg ClientConfig, lastCompleted *int) ([]float64, *sessionError) {
 	dialer := net.Dialer{Timeout: cfg.DialTimeout}
 	conn, err := dialer.DialContext(ctx, "tcp", cfg.Addr)
 	if err != nil {
-		return nil, fmt.Errorf("flnet: dial %s: %w", cfg.Addr, err)
+		return nil, retryableErr(fmt.Errorf("flnet: dial %s: %w", cfg.Addr, err))
 	}
 	defer conn.Close()
 
@@ -56,8 +146,14 @@ func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
 	}()
 
 	conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
-	if err := WriteMessage(conn, &Message{Kind: KindHello, ClientID: cfg.Trainer.ID}); err != nil {
-		return nil, err
+	hello := &Message{
+		Kind:      KindHello,
+		ClientID:  cfg.Trainer.ID,
+		Version:   ProtocolVersion,
+		LastRound: *lastCompleted,
+	}
+	if err := WriteMessage(conn, hello); err != nil {
+		return nil, retryableErr(err)
 	}
 
 	for {
@@ -65,9 +161,9 @@ func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
 		msg, err := ReadMessage(conn)
 		if err != nil {
 			if ctx.Err() != nil {
-				return nil, ctx.Err()
+				return nil, permanentErr(ctx.Err())
 			}
-			return nil, err
+			return nil, retryableErr(err)
 		}
 		switch msg.Kind {
 		case KindGlobal:
@@ -75,7 +171,7 @@ func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
 			if err != nil {
 				conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
 				_ = WriteMessage(conn, &Message{Kind: KindError, Err: err.Error()})
-				return nil, err
+				return nil, permanentErr(err)
 			}
 			conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
 			err = WriteMessage(conn, &Message{
@@ -86,20 +182,24 @@ func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
 				NumSamples: u.NumSamples,
 			})
 			if err != nil {
-				return nil, err
+				return nil, retryableErr(err)
 			}
+			*lastCompleted = msg.Round
 		case KindDone:
 			// Final personalization: install the last global model through
 			// the defense's download path.
 			state := cfg.Defense.OnGlobalModel(cfg.Trainer.ID, msg.Round, msg.State)
 			if err := cfg.Trainer.Install(state); err != nil {
-				return nil, err
+				return nil, permanentErr(err)
 			}
 			return msg.State, nil
 		case KindError:
-			return nil, fmt.Errorf("flnet: server reported: %s", msg.Err)
+			// A rejection can be transient (e.g. "already registered"
+			// while the server is still evicting this client's previous
+			// connection), so rejections share the retry budget.
+			return nil, retryableErr(fmt.Errorf("flnet: server reported: %s", msg.Err))
 		default:
-			return nil, fmt.Errorf("flnet: unexpected %v frame", msg.Kind)
+			return nil, retryableErr(fmt.Errorf("flnet: unexpected %v frame", msg.Kind))
 		}
 	}
 }

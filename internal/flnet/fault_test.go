@@ -1,0 +1,757 @@
+package flnet
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/defense"
+	"repro/internal/faultnet"
+	"repro/internal/fl"
+	"repro/internal/model"
+	"repro/internal/optim"
+)
+
+// The fault tests prove the federation's tolerance guarantees end to end:
+// quorum rounds survive killed clients, stragglers are evicted at the
+// round deadline and can rejoin, reset connections reconnect with backoff
+// without changing the result, and a server restarted from a checkpoint
+// converges to the same state as an uninterrupted run.
+
+const fbSeed = 11
+
+// fedBed holds the deterministic data/model fixtures shared by one
+// federation test (fresh trainer instances are built per run).
+type fedBed struct {
+	t          *testing.T
+	spec       data.Spec
+	shards     []*data.Dataset
+	split      *data.FLSplit
+	numClients int
+}
+
+func newFedBed(t *testing.T, numClients int) *fedBed {
+	t.Helper()
+	spec, err := data.Lookup("purchase100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Records = 400
+	ds, err := data.Generate(spec, fbSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := data.NewFLSplit(ds, rand.New(rand.NewSource(fbSeed)))
+	shards, err := data.PartitionIID(split.Train, numClients, rand.New(rand.NewSource(fbSeed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fedBed{t: t, spec: spec, shards: shards, split: split, numClients: numClients}
+}
+
+// trainer builds a fresh trainer for client id, identical across runs.
+func (b *fedBed) trainer(id int) *fl.Client {
+	b.t.Helper()
+	m, err := model.Build(b.spec, rand.New(rand.NewSource(fbSeed+2)))
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	tr, err := fl.NewClient(id, m, b.shards[id], optim.NewSGD(0.1, 0), 32, 1,
+		rand.New(rand.NewSource(fbSeed+100+int64(id))))
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	return tr
+}
+
+// defense builds and binds a fresh defense instance, identical across runs.
+func (b *fedBed) defense(name string) fl.Defense {
+	b.t.Helper()
+	d, err := defense.New(name, fbSeed, b.numClients)
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	m, err := model.Build(b.spec, rand.New(rand.NewSource(fbSeed+2)))
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	if err := d.Bind(fl.InfoOf(m)); err != nil {
+		b.t.Fatal(err)
+	}
+	return d
+}
+
+// initialState is the federation's round-0 global model.
+func (b *fedBed) initialState() []float64 {
+	b.t.Helper()
+	m, err := model.Build(b.spec, rand.New(rand.NewSource(fbSeed+2)))
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	return m.StateVector()
+}
+
+// startServer launches cfg's server on a fault-injecting listener and
+// returns the server plus a channel carrying Run's outcome.
+type serverOutcome struct {
+	state []float64
+	err   error
+}
+
+func startServer(t *testing.T, ctx context.Context, cfg ServerConfig, schedule faultnet.Schedule) (*Server, *faultnet.Listener, chan serverOutcome) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := faultnet.Listen(inner, schedule)
+	cfg.Listener = ln
+	srv, err := NewServer(cfg)
+	if err != nil {
+		inner.Close()
+		t.Fatal(err)
+	}
+	out := make(chan serverOutcome, 1)
+	go func() {
+		state, err := srv.Run(ctx)
+		out <- serverOutcome{state: state, err: err}
+	}()
+	return srv, ln, out
+}
+
+func containsID(ids []int, id int) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestQuorumSurvivesKilledClient is the acceptance scenario: a federation
+// of 4 clients with MinClients=3 completes every round even though one
+// client dies mid-training in round 0.
+func TestQuorumSurvivesKilledClient(t *testing.T) {
+	const (
+		numClients = 4
+		rounds     = 3
+		killedID   = 3
+	)
+	bed := newFedBed(t, numClients)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	srv, _, srvOut := startServer(t, ctx, ServerConfig{
+		NumClients:    numClients,
+		MinClients:    3,
+		Rounds:        rounds,
+		RoundDeadline: 10 * time.Second,
+		Defense:       bed.defense("none"),
+		InitialState:  bed.initialState(),
+		IOTimeout:     30 * time.Second,
+	}, nil)
+
+	// The doomed client registers, receives the round-0 global model, and
+	// dies while "training" (it never sends an update).
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		if err := WriteMessage(conn, &Message{Kind: KindHello, ClientID: killedID, Version: ProtocolVersion, LastRound: -1}); err != nil {
+			t.Error(err)
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(20 * time.Second))
+		if _, err := ReadMessage(conn); err != nil {
+			t.Errorf("killed client never saw round 0: %v", err)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, numClients)
+	for id := 0; id < numClients-1; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			_, err := RunClient(ctx, ClientConfig{
+				Addr:    srv.Addr().String(),
+				Trainer: bed.trainer(id),
+				Defense: bed.defense("none"),
+			})
+			if err != nil {
+				errCh <- err
+			}
+		}(id)
+	}
+	wg.Wait()
+	<-killed
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	out := <-srvOut
+	if out.err != nil {
+		t.Fatalf("federation failed: %v", out.err)
+	}
+	reports := srv.Reports()
+	if len(reports) != rounds {
+		t.Fatalf("got %d round reports, want %d", len(reports), rounds)
+	}
+	if !containsID(reports[0].Dropped, killedID) {
+		t.Fatalf("round 0 report should record client %d as dropped: %+v", killedID, reports[0])
+	}
+	if reports[0].Err == nil {
+		t.Fatal("round 0 report should join the killed client's error")
+	}
+	for _, r := range reports {
+		if len(r.Participants) < 3 {
+			t.Fatalf("round %d aggregated %d updates, want >= quorum 3", r.Round, len(r.Participants))
+		}
+	}
+}
+
+// TestRoundDeadlineEvictsStraggler proves deadline-based eviction: a
+// client whose connection is artificially slow misses the round deadline,
+// the round aggregates with the quorum, and the straggler is dropped.
+func TestRoundDeadlineEvictsStraggler(t *testing.T) {
+	const stragglerID = 1
+	bed := newFedBed(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// The first accepted connection (the straggler registers first, see
+	// below) delays every server-side read by 2s, far past the deadline.
+	schedule := func(i int) faultnet.Plan {
+		if i == 0 {
+			return faultnet.Plan{Kind: faultnet.Delay, Delay: 2 * time.Second}
+		}
+		return faultnet.Plan{}
+	}
+	srv, ln, srvOut := startServer(t, ctx, ServerConfig{
+		NumClients:    2,
+		MinClients:    1,
+		Rounds:        1,
+		RoundDeadline: 400 * time.Millisecond,
+		Defense:       bed.defense("none"),
+		InitialState:  bed.initialState(),
+		IOTimeout:     30 * time.Second,
+	}, schedule)
+
+	var wg sync.WaitGroup
+	runClient := func(id int) {
+		defer wg.Done()
+		// The straggler's outcome is timing-dependent (it may rejoin just
+		// in time for Done or give up against the closed listener), so
+		// only the fast client's error is asserted.
+		_, err := RunClient(ctx, ClientConfig{
+			Addr:        srv.Addr().String(),
+			Trainer:     bed.trainer(id),
+			Defense:     bed.defense("none"),
+			MaxRetries:  2,
+			BaseBackoff: 20 * time.Millisecond,
+		})
+		if id != stragglerID && err != nil {
+			t.Errorf("client %d: %v", id, err)
+		}
+	}
+	wg.Add(1)
+	go runClient(stragglerID)
+	for ln.Accepted() == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Add(1)
+	go runClient(0)
+
+	out := <-srvOut
+	if out.err != nil {
+		t.Fatalf("federation failed: %v", out.err)
+	}
+	reports := srv.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	if !containsID(reports[0].Dropped, stragglerID) {
+		t.Fatalf("straggler should be dropped at the deadline: %+v", reports[0])
+	}
+	if !containsID(reports[0].Participants, 0) {
+		t.Fatalf("fast client should have participated: %+v", reports[0])
+	}
+	wg.Wait()
+}
+
+// TestDroppedClientRejoinsMidRound proves reconnect-and-resync: client 1's
+// first connection dies right after registration, the round blocks below
+// quorum, and the client's reconnection (with backoff) is resynced into
+// the *current* round, which then completes with the full cohort.
+func TestDroppedClientRejoinsMidRound(t *testing.T) {
+	const rejoinID = 1
+	bed := newFedBed(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Compute the exact wire size of client 1's hello so its first
+	// connection dies on the very next byte after registration.
+	var hello bytes.Buffer
+	if err := WriteMessage(&hello, &Message{Kind: KindHello, ClientID: rejoinID, Version: ProtocolVersion, LastRound: -1}); err != nil {
+		t.Fatal(err)
+	}
+	schedule := func(i int) faultnet.Plan {
+		if i == 0 {
+			return faultnet.Plan{Kind: faultnet.DropAfter, Bytes: hello.Len()}
+		}
+		return faultnet.Plan{}
+	}
+	srv, ln, srvOut := startServer(t, ctx, ServerConfig{
+		NumClients:    2,
+		MinClients:    2, // full quorum: the round must wait for the rejoin
+		Rounds:        2,
+		RoundDeadline: 30 * time.Second,
+		Defense:       bed.defense("none"),
+		InitialState:  bed.initialState(),
+		IOTimeout:     30 * time.Second,
+	}, schedule)
+
+	var retries atomic.Int32
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+	runClient := func(id int) {
+		defer wg.Done()
+		_, err := RunClient(ctx, ClientConfig{
+			Addr:        srv.Addr().String(),
+			Trainer:     bed.trainer(id),
+			Defense:     bed.defense("none"),
+			MaxRetries:  5,
+			BaseBackoff: 20 * time.Millisecond,
+			Logf: func(string, ...any) {
+				retries.Add(1)
+			},
+		})
+		if err != nil {
+			errCh <- err
+		}
+	}
+	wg.Add(1)
+	go runClient(rejoinID)
+	for ln.Accepted() == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Add(1)
+	go runClient(0)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	out := <-srvOut
+	if out.err != nil {
+		t.Fatalf("federation failed: %v", out.err)
+	}
+	if retries.Load() == 0 {
+		t.Fatal("the dropped client should have logged at least one retry")
+	}
+	reports := srv.Reports()
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	if !containsID(reports[0].Dropped, rejoinID) {
+		t.Fatalf("round 0 should record the dead first connection: %+v", reports[0])
+	}
+	if !containsID(reports[0].Participants, rejoinID) {
+		t.Fatalf("round 0 should include the rejoined client's update: %+v", reports[0])
+	}
+	if len(reports[1].Dropped) != 0 {
+		t.Fatalf("round 1 should be clean: %+v", reports[1])
+	}
+}
+
+// resettableRun runs a complete 2-client DINAR federation with the given
+// fault schedule and returns the final global state plus each client's
+// personalized accuracy.
+func resettableRun(t *testing.T, bed *fedBed, schedule faultnet.Schedule, retries *atomic.Int32) ([]float64, [2]float64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	srv, _, srvOut := startServer(t, ctx, ServerConfig{
+		NumClients:   2,
+		Rounds:       2,
+		Defense:      bed.defense("dinar"),
+		InitialState: bed.initialState(),
+		IOTimeout:    30 * time.Second,
+	}, schedule)
+
+	trainers := [2]*fl.Client{bed.trainer(0), bed.trainer(1)}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+	for id := 0; id < 2; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			_, err := RunClient(ctx, ClientConfig{
+				Addr:        srv.Addr().String(),
+				Trainer:     trainers[id],
+				Defense:     bed.defense("dinar"),
+				MaxRetries:  5,
+				BaseBackoff: 20 * time.Millisecond,
+				Logf: func(string, ...any) {
+					if retries != nil {
+						retries.Add(1)
+					}
+				},
+			})
+			if err != nil {
+				errCh <- err
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	out := <-srvOut
+	if out.err != nil {
+		t.Fatalf("federation failed: %v", out.err)
+	}
+	var accs [2]float64
+	for id, tr := range trainers {
+		acc, _, err := tr.Evaluate(bed.split.Test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs[id] = acc
+	}
+	return out.state, accs
+}
+
+// TestResetClientReconnectsWithSameResult is the acceptance scenario: a
+// client whose connection is reset reconnects with backoff and the
+// federation finishes with exactly the personalized accuracy (and global
+// state) of an undisturbed run.
+func TestResetClientReconnectsWithSameResult(t *testing.T) {
+	bed := newFedBed(t, 2)
+
+	wantState, wantAccs := resettableRun(t, bed, nil, nil)
+
+	// Fault run: the first accepted connection is reset before the server
+	// can even read its hello, so one client must redial with backoff.
+	var retries atomic.Int32
+	schedule := func(i int) faultnet.Plan {
+		if i == 0 {
+			return faultnet.Plan{Kind: faultnet.Reset}
+		}
+		return faultnet.Plan{}
+	}
+	gotState, gotAccs := resettableRun(t, bed, schedule, &retries)
+
+	if retries.Load() == 0 {
+		t.Fatal("the reset client should have logged at least one retry")
+	}
+	if len(gotState) != len(wantState) {
+		t.Fatalf("state lengths differ: %d vs %d", len(gotState), len(wantState))
+	}
+	for i := range wantState {
+		if gotState[i] != wantState[i] {
+			t.Fatalf("global state diverged at %d: %g vs %g", i, gotState[i], wantState[i])
+		}
+	}
+	for id := range wantAccs {
+		if gotAccs[id] != wantAccs[id] {
+			t.Fatalf("client %d personalized accuracy diverged: %g vs %g", id, gotAccs[id], wantAccs[id])
+		}
+	}
+}
+
+// checkpointRun runs a 2-client defense-"none" federation for the given
+// number of rounds against trainers, optionally checkpointing.
+func checkpointRun(t *testing.T, bed *fedBed, trainers [2]*fl.Client, rounds int, ckptPath string) (*Server, []float64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	srv, _, srvOut := startServer(t, ctx, ServerConfig{
+		NumClients:     2,
+		Rounds:         rounds,
+		Defense:        bed.defense("none"),
+		InitialState:   bed.initialState(),
+		IOTimeout:      30 * time.Second,
+		CheckpointPath: ckptPath,
+		Dataset:        "purchase100",
+	}, nil)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+	for id := 0; id < 2; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			_, err := RunClient(ctx, ClientConfig{
+				Addr:    srv.Addr().String(),
+				Trainer: trainers[id],
+				Defense: bed.defense("none"),
+			})
+			if err != nil {
+				errCh <- err
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	out := <-srvOut
+	if out.err != nil {
+		t.Fatalf("federation failed: %v", out.err)
+	}
+	return srv, out.state
+}
+
+// TestCheckpointResumeMatchesUninterruptedRun is the acceptance scenario:
+// a server restarted from its checkpoint resumes at the next round and
+// converges to the same final state as an uninterrupted run with the same
+// seed.
+func TestCheckpointResumeMatchesUninterruptedRun(t *testing.T) {
+	const totalRounds = 3
+	bed := newFedBed(t, 2)
+
+	// Reference: one uninterrupted federation.
+	refTrainers := [2]*fl.Client{bed.trainer(0), bed.trainer(1)}
+	_, wantState := checkpointRun(t, bed, refTrainers, totalRounds, "")
+
+	// Interrupted: the server "crashes" after round 1 (it runs a 1-round
+	// federation with checkpointing), then a new server process resumes
+	// from the snapshot and the same clients reconnect.
+	ckpt := t.TempDir() + "/global.ckpt"
+	trainers := [2]*fl.Client{bed.trainer(0), bed.trainer(1)}
+	first, _ := checkpointRun(t, bed, trainers, 1, ckpt)
+	if first.StartRound() != 0 {
+		t.Fatalf("fresh server should start at round 0, got %d", first.StartRound())
+	}
+	resumed, gotState := checkpointRun(t, bed, trainers, totalRounds, ckpt)
+	if resumed.StartRound() != 1 {
+		t.Fatalf("resumed server should start at round 1, got %d", resumed.StartRound())
+	}
+	if len(resumed.Reports()) != totalRounds-1 {
+		t.Fatalf("resumed server ran %d rounds, want %d", len(resumed.Reports()), totalRounds-1)
+	}
+
+	if len(gotState) != len(wantState) {
+		t.Fatalf("state lengths differ: %d vs %d", len(gotState), len(wantState))
+	}
+	for i := range wantState {
+		if gotState[i] != wantState[i] {
+			t.Fatalf("resumed federation diverged at %d: %g vs %g", i, gotState[i], wantState[i])
+		}
+	}
+	// The personalized models must match too.
+	for id := range refTrainers {
+		want, _, err := refTrainers[id].Evaluate(bed.split.Test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := trainers[id].Evaluate(bed.split.Test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("client %d accuracy diverged after resume: %g vs %g", id, got, want)
+		}
+	}
+}
+
+// TestDuplicateHelloPeerIsEvicted proves the server survives a protocol
+// violator: a peer whose hello frame is duplicated registers fine but is
+// evicted when the duplicate arrives in place of its round-0 update.
+func TestDuplicateHelloPeerIsEvicted(t *testing.T) {
+	const dupID = 1
+	bed := newFedBed(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	srv, _, srvOut := startServer(t, ctx, ServerConfig{
+		NumClients:    2,
+		MinClients:    1,
+		Rounds:        1,
+		RoundDeadline: 10 * time.Second,
+		Defense:       bed.defense("none"),
+		InitialState:  bed.initialState(),
+		IOTimeout:     20 * time.Second,
+	}, nil)
+
+	// The violator: its first write (the hello frame) is sent twice.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		raw, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer raw.Close()
+		conn := faultnet.WrapConn(raw, faultnet.Plan{Kind: faultnet.Duplicate})
+		if err := WriteMessage(conn, &Message{Kind: KindHello, ClientID: dupID, Version: ProtocolVersion, LastRound: -1}); err != nil {
+			t.Error(err)
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(20 * time.Second))
+		ReadMessage(conn) //nolint:errcheck // round-0 global; the eviction closes the conn afterwards
+		ReadMessage(conn) //nolint:errcheck
+	}()
+
+	if _, err := RunClient(ctx, ClientConfig{
+		Addr:    srv.Addr().String(),
+		Trainer: bed.trainer(0),
+		Defense: bed.defense("none"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := <-srvOut
+	if out.err != nil {
+		t.Fatalf("federation failed: %v", out.err)
+	}
+	reports := srv.Reports()
+	if !containsID(reports[0].Dropped, dupID) {
+		t.Fatalf("duplicate-hello peer should be evicted: %+v", reports[0])
+	}
+	if reports[0].Err == nil || !strings.Contains(reports[0].Err.Error(), "unexpected") {
+		t.Fatalf("report should explain the protocol violation, got %v", reports[0].Err)
+	}
+	cancel()
+	<-done
+}
+
+// TestMalformedRegistrantGetsErrorFrame covers the hardened accept loop:
+// garbage registrations receive a KindError frame and count toward the
+// reject cap, which aborts registration when exceeded.
+func TestMalformedRegistrantGetsErrorFrame(t *testing.T) {
+	bed := newFedBed(t, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	srv, _, srvOut := startServer(t, ctx, ServerConfig{
+		NumClients:   1,
+		Rounds:       1,
+		MaxRejects:   2,
+		Defense:      bed.defense("none"),
+		InitialState: bed.initialState(),
+		IOTimeout:    20 * time.Second,
+	}, nil)
+
+	for i := 0; i < 3; i++ {
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write([]byte{0, 0, 0, 3, 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		msg, err := ReadMessage(conn)
+		if err != nil {
+			t.Fatalf("malformed registrant %d should receive an error frame, got %v", i, err)
+		}
+		if msg.Kind != KindError {
+			t.Fatalf("want KindError, got %v", msg.Kind)
+		}
+		conn.Close()
+	}
+	out := <-srvOut
+	if out.err == nil || !strings.Contains(out.err.Error(), "too many rejected") {
+		t.Fatalf("server should abort after the reject cap, got %v", out.err)
+	}
+}
+
+// TestHelloVersionValidated covers the protocol version bump: a v1 hello
+// is rejected with an explanatory error frame.
+func TestHelloVersionValidated(t *testing.T) {
+	bed := newFedBed(t, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	srv, _, _ := startServer(t, ctx, ServerConfig{
+		NumClients:   1,
+		Rounds:       1,
+		Defense:      bed.defense("none"),
+		InitialState: bed.initialState(),
+		IOTimeout:    20 * time.Second,
+	}, nil)
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteMessage(conn, &Message{Kind: KindHello, ClientID: 0, Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	msg, err := ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != KindError || !strings.Contains(msg.Err, "version") {
+		t.Fatalf("want a version-mismatch error frame, got %+v", msg)
+	}
+	cancel()
+}
+
+// TestRegistrationDeadline covers the bounded accept loop: with a short
+// RegisterTimeout the server starts once the quorum registered (instead
+// of waiting forever for the full cohort), and fails cleanly below
+// quorum.
+func TestRegistrationDeadline(t *testing.T) {
+	bed := newFedBed(t, 2)
+
+	t.Run("quorum starts degraded", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		srv, _, srvOut := startServer(t, ctx, ServerConfig{
+			NumClients:      2,
+			MinClients:      1,
+			Rounds:          1,
+			Defense:         bed.defense("none"),
+			InitialState:    bed.initialState(),
+			IOTimeout:       30 * time.Second,
+			RegisterTimeout: 700 * time.Millisecond,
+		}, nil)
+		// Only client 0 ever shows up.
+		if _, err := RunClient(ctx, ClientConfig{
+			Addr:      srv.Addr().String(),
+			Trainer:   bed.trainer(0),
+			Defense:   bed.defense("none"),
+			IOTimeout: 20 * time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		out := <-srvOut
+		if out.err != nil {
+			t.Fatalf("server should run degraded after the registration deadline: %v", out.err)
+		}
+	})
+
+	t.Run("below quorum fails", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_, _, srvOut := startServer(t, ctx, ServerConfig{
+			NumClients:      2,
+			Rounds:          1,
+			Defense:         bed.defense("none"),
+			InitialState:    bed.initialState(),
+			IOTimeout:       30 * time.Second,
+			RegisterTimeout: 500 * time.Millisecond,
+		}, nil)
+		out := <-srvOut
+		if out.err == nil || !strings.Contains(out.err.Error(), "registered") {
+			t.Fatalf("server should fail when no quorum registers, got %v", out.err)
+		}
+	})
+}

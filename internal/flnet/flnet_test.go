@@ -274,7 +274,7 @@ func TestClientDialFailure(t *testing.T) {
 	ln.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if _, err := RunClient(ctx, ClientConfig{Addr: addr, Trainer: trainer, Defense: d}); err == nil {
+	if _, err := RunClient(ctx, ClientConfig{Addr: addr, Trainer: trainer, Defense: d, MaxRetries: -1}); err == nil {
 		t.Fatal("connected to a closed port")
 	}
 }
@@ -305,7 +305,7 @@ func TestServerRejectsDuplicateClientIDs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := WriteMessage(conn, &Message{Kind: KindHello, ClientID: id}); err != nil {
+		if err := WriteMessage(conn, &Message{Kind: KindHello, ClientID: id, Version: ProtocolVersion}); err != nil {
 			t.Fatal(err)
 		}
 		return conn
@@ -354,7 +354,7 @@ func TestServerSurfacesClientFailureMidRound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteMessage(conn, &Message{Kind: KindHello, ClientID: 0}); err != nil {
+	if err := WriteMessage(conn, &Message{Kind: KindHello, ClientID: 0, Version: ProtocolVersion}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ReadMessage(conn); err != nil {
@@ -395,7 +395,7 @@ func TestServerSurfacesClientErrorFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := WriteMessage(conn, &Message{Kind: KindHello, ClientID: 0}); err != nil {
+	if err := WriteMessage(conn, &Message{Kind: KindHello, ClientID: 0, Version: ProtocolVersion}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ReadMessage(conn); err != nil {

@@ -2,11 +2,15 @@ package flnet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"os"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/fl"
 	"repro/internal/metrics"
 )
@@ -16,11 +20,22 @@ type ServerConfig struct {
 	// Addr is the TCP listen address, e.g. "127.0.0.1:7070". Use ":0" for an
 	// ephemeral port (tests).
 	Addr string
-	// NumClients is the cohort size; the server waits for exactly this many
-	// registrations before round 1.
+	// NumClients is the cohort size; the server waits up to IOTimeout for
+	// this many registrations before round 1 (MinClients suffice after the
+	// deadline).
 	NumClients int
+	// MinClients is the round quorum: a round aggregates as soon as every
+	// live client has reported or, once RoundDeadline has passed, with any
+	// set of at least MinClients updates (FedAvg sample-weights partial
+	// cohorts). 0 means NumClients, i.e. no partial rounds.
+	MinClients int
 	// Rounds is the number of FL rounds to run.
 	Rounds int
+	// RoundDeadline bounds one round's update collection; after it expires
+	// the round proceeds with a quorum and evicts stragglers. 0 means no
+	// deadline: the round ends only when every live client has reported or
+	// failed.
+	RoundDeadline time.Duration
 	// Defense is the server-side defense instance (its Aggregate hook runs
 	// here). It must already be Bound to the model layout.
 	Defense fl.Defense
@@ -29,8 +44,44 @@ type ServerConfig struct {
 	// IOTimeout bounds individual reads/writes per connection (default 2
 	// minutes).
 	IOTimeout time.Duration
+	// RegisterTimeout bounds the whole registration phase: once it
+	// expires the federation starts with whatever quorum has registered
+	// (or fails below MinClients). 0 means IOTimeout.
+	RegisterTimeout time.Duration
+	// MaxRejects caps rejected registration attempts (malformed hellos,
+	// protocol version mismatches, duplicate ids) before the server gives
+	// up, so a misbehaving peer cannot keep the accept loop spinning
+	// forever. 0 means 2*NumClients+8.
+	MaxRejects int
+	// CheckpointPath, if non-empty, persists a global-model snapshot after
+	// every aggregated round; if the file already exists at startup the
+	// federation resumes from the snapshot's round instead of round 0.
+	CheckpointPath string
+	// Dataset tags checkpoints; resuming from a snapshot recorded for a
+	// different dataset is an error. Optional.
+	Dataset string
+	// Listener, if non-nil, is used instead of listening on Addr — tests
+	// inject faultnet wrappers here. It should support SetDeadline.
+	Listener net.Listener
 	// Meter records aggregation costs (optional).
 	Meter *metrics.CostMeter
+	// Logf receives progress lines (optional).
+	Logf func(format string, args ...any)
+}
+
+// RoundReport records one round's cohort outcome.
+type RoundReport struct {
+	// Round is the 0-based round index.
+	Round int
+	// Participants lists the client ids whose updates were aggregated.
+	Participants []int
+	// Dropped lists the client ids evicted during the round (stragglers
+	// past the deadline, dead connections, protocol violations). A dropped
+	// client may rejoin in a later round.
+	Dropped []int
+	// Err joins the errors of every failed client in the round; it may be
+	// non-nil even when the round aggregated successfully with a quorum.
+	Err error
 }
 
 // Server is the TCP federated-learning middleware server.
@@ -38,13 +89,31 @@ type Server struct {
 	cfg ServerConfig
 	ln  net.Listener
 
-	core *fl.Server
+	core       *fl.Server
+	startRound int
+
+	mu      sync.Mutex
+	live    map[int]*session
+	rejects int
+	reports []RoundReport
+
+	// joinCh delivers sessions registered by the background acceptor to
+	// the round loop; runDone unblocks the acceptor when Run returns.
+	joinCh  chan *session
+	runDone chan struct{}
 }
 
-// NewServer validates the configuration and starts listening.
+// NewServer validates the configuration, loads a checkpoint when one is
+// configured and present, and starts listening.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.NumClients <= 0 || cfg.Rounds <= 0 {
 		return nil, fmt.Errorf("flnet: need positive NumClients/Rounds, got %d/%d", cfg.NumClients, cfg.Rounds)
+	}
+	if cfg.MinClients == 0 {
+		cfg.MinClients = cfg.NumClients
+	}
+	if cfg.MinClients < 1 || cfg.MinClients > cfg.NumClients {
+		return nil, fmt.Errorf("flnet: MinClients %d outside [1,%d]", cfg.MinClients, cfg.NumClients)
 	}
 	if cfg.Defense == nil {
 		return nil, fmt.Errorf("flnet: nil defense")
@@ -52,15 +121,60 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.IOTimeout == 0 {
 		cfg.IOTimeout = 2 * time.Minute
 	}
-	core, err := fl.NewServer(cfg.InitialState, cfg.Defense, cfg.Meter)
+	if cfg.RegisterTimeout == 0 {
+		cfg.RegisterTimeout = cfg.IOTimeout
+	}
+	if cfg.MaxRejects == 0 {
+		cfg.MaxRejects = 2*cfg.NumClients + 8
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	state := cfg.InitialState
+	startRound := 0
+	if cfg.CheckpointPath != "" {
+		snap, err := checkpoint.LoadFile(cfg.CheckpointPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// Fresh federation; the first round writes the file.
+		case err != nil:
+			return nil, fmt.Errorf("flnet: resume: %w", err)
+		default:
+			if cfg.Dataset != "" && snap.Dataset != "" && snap.Dataset != cfg.Dataset {
+				return nil, fmt.Errorf("flnet: checkpoint is for dataset %q, server runs %q", snap.Dataset, cfg.Dataset)
+			}
+			if len(snap.State) != len(cfg.InitialState) {
+				return nil, fmt.Errorf("flnet: checkpoint state has %d values, model needs %d", len(snap.State), len(cfg.InitialState))
+			}
+			state = snap.State
+			startRound = snap.Round
+			cfg.Logf("flnet: resuming from checkpoint %s at round %d", cfg.CheckpointPath, startRound)
+		}
+	}
+
+	core, err := fl.NewServer(state, cfg.Defense, cfg.Meter)
 	if err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("flnet: listen %s: %w", cfg.Addr, err)
+	core.SetRound(startRound)
+
+	ln := cfg.Listener
+	if ln == nil {
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("flnet: listen %s: %w", cfg.Addr, err)
+		}
 	}
-	return &Server{cfg: cfg, ln: ln, core: core}, nil
+	return &Server{
+		cfg:        cfg,
+		ln:         ln,
+		core:       core,
+		startRound: startRound,
+		live:       make(map[int]*session, cfg.NumClients),
+		joinCh:     make(chan *session, cfg.NumClients),
+		runDone:    make(chan struct{}),
+	}, nil
 }
 
 // Addr returns the bound listen address.
@@ -69,16 +183,32 @@ func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 // Close stops the listener.
 func (s *Server) Close() error { return s.ln.Close() }
 
+// StartRound returns the round the federation (re)starts from: 0 for a
+// fresh run, the checkpointed round after a resume.
+func (s *Server) StartRound() int { return s.startRound }
+
+// Reports returns a copy of the per-round cohort reports recorded so far.
+func (s *Server) Reports() []RoundReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RoundReport(nil), s.reports...)
+}
+
 // session is one connected client.
 type session struct {
 	conn     net.Conn
 	clientID int
+	// lastRound is the last round the client reported completing in its
+	// Hello (-1 for a fresh client).
+	lastRound int
 }
 
-// Run accepts NumClients registrations, orchestrates all rounds, sends the
-// final model, and returns the final global state.
+// Run accepts registrations, orchestrates all rounds (tolerating client
+// failure per MinClients/RoundDeadline), sends the final model, and
+// returns the final global state.
 func (s *Server) Run(ctx context.Context) ([]float64, error) {
 	defer s.ln.Close()
+	defer close(s.runDone)
 
 	// Cancel blocking Accept/Read calls when ctx ends.
 	stop := make(chan struct{})
@@ -91,95 +221,333 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		}
 	}()
 
-	sessions, err := s.accept(ctx)
-	if err != nil {
+	if err := s.acceptCohort(ctx); err != nil {
 		return nil, err
 	}
 	defer func() {
-		for _, sess := range sessions {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, sess := range s.live {
 			sess.conn.Close()
 		}
 	}()
 
-	for round := 0; round < s.cfg.Rounds; round++ {
-		updates, err := s.runRound(ctx, round, sessions)
+	// Keep accepting for the rest of the run so evicted clients can
+	// rejoin and resync.
+	go s.acceptRejoins(ctx)
+
+	for round := s.startRound; round < s.cfg.Rounds; round++ {
+		updates, report, err := s.runRound(ctx, round)
+		s.mu.Lock()
+		s.reports = append(s.reports, report)
+		s.mu.Unlock()
 		if err != nil {
 			return nil, fmt.Errorf("flnet: round %d: %w", round, err)
 		}
+		// Arrival order is nondeterministic; aggregate in client order so a
+		// federation's result is reproducible run-to-run (and across a
+		// checkpoint resume).
+		sort.Slice(updates, func(i, j int) bool { return updates[i].ClientID < updates[j].ClientID })
 		if err := s.core.Aggregate(updates); err != nil {
 			return nil, err
 		}
+		if s.cfg.CheckpointPath != "" {
+			snap := &checkpoint.Snapshot{
+				Dataset: s.cfg.Dataset,
+				Round:   s.core.Round(),
+				State:   s.core.GlobalState(),
+			}
+			if err := checkpoint.SaveFile(s.cfg.CheckpointPath, snap); err != nil {
+				return nil, fmt.Errorf("flnet: round %d: %w", round, err)
+			}
+		}
+		s.cfg.Logf("flnet: round %d aggregated %d updates (dropped %d)", round, len(report.Participants), len(report.Dropped))
 	}
+
 	final := s.core.GlobalState()
-	for _, sess := range sessions {
+	s.mu.Lock()
+	finalSessions := make([]*session, 0, len(s.live))
+	for _, sess := range s.live {
+		finalSessions = append(finalSessions, sess)
+	}
+	s.mu.Unlock()
+	var doneErrs []error
+	for _, sess := range finalSessions {
 		msg := &Message{Kind: KindDone, Round: s.cfg.Rounds, State: final}
 		if err := s.send(sess, msg); err != nil {
-			return nil, fmt.Errorf("flnet: send done to client %d: %w", sess.clientID, err)
+			// The federation already converged; a client that cannot
+			// receive Done lost only its own final install.
+			doneErrs = append(doneErrs, fmt.Errorf("client %d: %w", sess.clientID, err))
 		}
+	}
+	if len(doneErrs) > 0 {
+		s.cfg.Logf("flnet: done broadcast: %v", errors.Join(doneErrs...))
 	}
 	return final, nil
 }
 
-// accept waits for NumClients hello frames.
-func (s *Server) accept(ctx context.Context) ([]*session, error) {
-	sessions := make([]*session, 0, s.cfg.NumClients)
-	seen := make(map[int]bool, s.cfg.NumClients)
-	for len(sessions) < s.cfg.NumClients {
+// acceptCohort waits for NumClients hello frames, bounded by an overall
+// RegisterTimeout deadline: once the deadline passes, a quorum of
+// MinClients suffices to start the federation.
+func (s *Server) acceptCohort(ctx context.Context) error {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := s.ln.(deadliner); ok {
+		d.SetDeadline(time.Now().Add(s.cfg.RegisterTimeout)) //nolint:errcheck // best effort
+		defer d.SetDeadline(time.Time{})                     //nolint:errcheck
+	}
+	for {
+		s.mu.Lock()
+		registered := len(s.live)
+		s.mu.Unlock()
+		if registered >= s.cfg.NumClients {
+			return nil
+		}
 		conn, err := s.ln.Accept()
 		if err != nil {
 			if ctx.Err() != nil {
-				return nil, ctx.Err()
+				return ctx.Err()
 			}
-			return nil, fmt.Errorf("flnet: accept: %w", err)
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if registered >= s.cfg.MinClients {
+					s.cfg.Logf("flnet: registration deadline passed; starting with %d/%d clients", registered, s.cfg.NumClients)
+					return nil
+				}
+				return fmt.Errorf("flnet: only %d/%d clients registered within %s (quorum %d)",
+					registered, s.cfg.NumClients, s.cfg.RegisterTimeout, s.cfg.MinClients)
+			}
+			return fmt.Errorf("flnet: accept: %w", err)
 		}
-		conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
-		msg, err := ReadMessage(conn)
-		if err != nil || msg.Kind != KindHello {
-			conn.Close()
-			continue // ignore malformed registrants
+		if _, err := s.register(conn); err != nil {
+			if errors.Is(err, errTooManyRejects) {
+				return err
+			}
 		}
-		if seen[msg.ClientID] {
-			s.sendError(conn, fmt.Sprintf("client id %d already registered", msg.ClientID))
-			conn.Close()
-			continue
-		}
-		seen[msg.ClientID] = true
-		sessions = append(sessions, &session{conn: conn, clientID: msg.ClientID})
 	}
-	return sessions, nil
 }
 
-// runRound broadcasts the global state and collects one update per client.
-func (s *Server) runRound(ctx context.Context, round int, sessions []*session) ([]*fl.Update, error) {
-	global := s.core.GlobalState()
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	updates := make([]*fl.Update, len(sessions))
-	for i, sess := range sessions {
-		wg.Add(1)
-		go func(i int, sess *session) {
-			defer wg.Done()
-			u, err := s.exchange(sess, round, global)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("client %d: %w", sess.clientID, err)
+// errTooManyRejects aborts registration once MaxRejects attempts failed.
+var errTooManyRejects = errors.New("flnet: too many rejected registration attempts")
+
+// register reads and validates one Hello frame. On success the session is
+// added to the live set; on failure the registrant gets a KindError frame,
+// the connection is closed, and the reject counter advances.
+func (s *Server) register(conn net.Conn) (*session, error) {
+	reject := func(reason string) error {
+		s.sendError(conn, reason)
+		conn.Close()
+		s.mu.Lock()
+		s.rejects++
+		tooMany := s.rejects > s.cfg.MaxRejects
+		s.mu.Unlock()
+		s.cfg.Logf("flnet: rejected registrant from %v: %s", conn.RemoteAddr(), reason)
+		if tooMany {
+			return fmt.Errorf("%w (%d)", errTooManyRejects, s.cfg.MaxRejects)
+		}
+		return fmt.Errorf("flnet: rejected registrant: %s", reason)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
+	msg, err := ReadMessage(conn)
+	if err != nil || msg.Kind != KindHello {
+		return nil, reject("malformed registration: want a hello frame")
+	}
+	if msg.Version != ProtocolVersion {
+		return nil, reject(fmt.Sprintf("protocol version %d not supported, server speaks %d", msg.Version, ProtocolVersion))
+	}
+	if msg.ClientID < 0 || msg.ClientID >= s.cfg.NumClients {
+		return nil, reject(fmt.Sprintf("client id %d outside [0,%d)", msg.ClientID, s.cfg.NumClients))
+	}
+	s.mu.Lock()
+	if _, dup := s.live[msg.ClientID]; dup {
+		s.mu.Unlock()
+		return nil, reject(fmt.Sprintf("client id %d already registered", msg.ClientID))
+	}
+	sess := &session{conn: conn, clientID: msg.ClientID, lastRound: msg.LastRound}
+	s.live[msg.ClientID] = sess
+	s.mu.Unlock()
+	return sess, nil
+}
+
+// acceptRejoins keeps registering clients after the initial cohort formed,
+// so an evicted client can reconnect and be resynced into the current
+// round. It stops when the listener closes or the reject cap is hit.
+func (s *Server) acceptRejoins(ctx context.Context) {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (run finished or ctx canceled)
+		}
+		sess, err := s.register(conn)
+		if err != nil {
+			if errors.Is(err, errTooManyRejects) {
+				s.cfg.Logf("flnet: rejoin acceptor stopping: %v", err)
 				return
 			}
-			updates[i] = u
-		}(i, sess)
+			continue
+		}
+		s.cfg.Logf("flnet: client %d rejoined (last completed round %d)", sess.clientID, sess.lastRound)
+		select {
+		case s.joinCh <- sess:
+		case <-s.runDone:
+			sess.conn.Close()
+			return
+		case <-ctx.Done():
+			sess.conn.Close()
+			return
+		}
 	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
+}
+
+// result is one finished exchange.
+type result struct {
+	sess *session
+	u    *fl.Update
+	err  error
+}
+
+// runRound broadcasts the global state and collects updates until every
+// live client reported, or — after RoundDeadline — a quorum of MinClients
+// did. Failed or straggling clients are evicted (they may rejoin later);
+// every client error of the round is joined into the report.
+func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundReport, error) {
+	global := s.core.GlobalState()
+	report := RoundReport{Round: round}
+
+	results := make(chan result, s.cfg.NumClients)
+	included := make(map[*session]bool)
+	pending := 0
+
+	launch := func(sess *session) {
+		included[sess] = true
+		pending++
+		go func() {
+			u, err := s.exchange(sess, round, global)
+			results <- result{sess: sess, u: u, err: err}
+		}()
 	}
-	if firstErr != nil {
-		return nil, firstErr
+
+	s.mu.Lock()
+	cohort := make([]*session, 0, len(s.live))
+	for _, sess := range s.live {
+		cohort = append(cohort, sess)
 	}
-	return updates, nil
+	s.mu.Unlock()
+	for _, sess := range cohort {
+		launch(sess)
+	}
+
+	var deadlineCh <-chan time.Time
+	if s.cfg.RoundDeadline > 0 {
+		t := time.NewTimer(s.cfg.RoundDeadline)
+		defer t.Stop()
+		deadlineCh = t.C
+	}
+
+	var (
+		updates     []*fl.Update
+		errs        []error
+		deadlineHit bool
+	)
+	evict := func(sess *session, err error) {
+		s.mu.Lock()
+		if s.live[sess.clientID] == sess {
+			delete(s.live, sess.clientID)
+		}
+		s.mu.Unlock()
+		sess.conn.Close()
+		report.Dropped = append(report.Dropped, sess.clientID)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("client %d: %w", sess.clientID, err))
+		}
+	}
+	// reap consumes the n results still owed to the channel so abandoned
+	// exchange goroutines can always complete their send and exit.
+	reap := func(n int) {
+		if n > 0 {
+			go func() {
+				for i := 0; i < n; i++ {
+					<-results
+				}
+			}()
+		}
+	}
+	// finish drains the exchanges still in flight after a quorum decision:
+	// their sessions are evicted (closing the conn unblocks the exchange
+	// goroutine) and a reaper consumes their results so nothing leaks.
+	finish := func() ([]*fl.Update, RoundReport, error) {
+		if pending > 0 {
+			s.mu.Lock()
+			stragglers := make([]*session, 0, pending)
+			for sess := range included {
+				if s.live[sess.clientID] == sess {
+					stragglers = append(stragglers, sess)
+				}
+			}
+			s.mu.Unlock()
+			for _, sess := range stragglers {
+				done := false
+				for _, u := range updates {
+					if u.ClientID == sess.clientID {
+						done = true
+						break
+					}
+				}
+				if !done {
+					evict(sess, fmt.Errorf("no update within round deadline %s", s.cfg.RoundDeadline))
+				}
+			}
+			reap(pending)
+		}
+		report.Err = errors.Join(errs...)
+		return updates, report, nil
+	}
+
+	for {
+		if pending == 0 {
+			if len(updates) >= s.cfg.MinClients {
+				return finish()
+			}
+			// Below quorum with nothing in flight: without a deadline the
+			// round can never recover; with one, a rejoining client may
+			// still push the round to quorum before the deadline.
+			if deadlineCh == nil || deadlineHit {
+				report.Err = errors.Join(errs...)
+				return nil, report, fmt.Errorf("quorum not met: %d/%d updates: %w", len(updates), s.cfg.MinClients, report.Err)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			reap(pending)
+			report.Err = errors.Join(errs...)
+			return nil, report, ctx.Err()
+		case res := <-results:
+			pending--
+			if res.err != nil {
+				evict(res.sess, res.err)
+			} else {
+				updates = append(updates, res.u)
+				report.Participants = append(report.Participants, res.sess.clientID)
+			}
+			if deadlineHit && len(updates) >= s.cfg.MinClients {
+				return finish()
+			}
+			if pending == 0 && len(updates) >= s.cfg.MinClients {
+				return finish()
+			}
+		case sess := <-s.joinCh:
+			if included[sess] {
+				break // already part of this round's cohort
+			}
+			launch(sess)
+		case <-deadlineCh:
+			deadlineHit = true
+			deadlineCh = nil
+			if len(updates) >= s.cfg.MinClients {
+				return finish()
+			}
+		}
+	}
 }
 
 // exchange sends the round's global state and reads the client's update.

@@ -8,10 +8,16 @@
 // big-endian payload length followed by a gob-encoded Message. The round
 // flow is:
 //
-//	client -> server  Hello{ClientID}
+//	client -> server  Hello{ClientID, Version, LastRound}
 //	server -> client  Global{Round, State}          (per round)
 //	client -> server  Update{Round, State, NumSamples}
 //	server -> client  Done{State: final global}
+//
+// A client may disconnect and re-register at any time; the Hello frame's
+// LastRound (the last round the client completed, -1 for a fresh client)
+// lets the server resync a rejoining client by resending the current
+// round's global state. Version is validated at Hello time so mismatched
+// deployments fail fast with a KindError frame instead of mid-round.
 package flnet
 
 import (
@@ -21,6 +27,11 @@ import (
 	"fmt"
 	"io"
 )
+
+// ProtocolVersion is the wire protocol version carried in every Hello
+// frame. Version 2 added the Version and LastRound fields (reconnect
+// support); servers reject Hellos from any other version.
+const ProtocolVersion = 2
 
 // Kind discriminates protocol messages.
 type Kind int
@@ -60,6 +71,12 @@ type Message struct {
 	Round      int
 	State      []float64
 	NumSamples int
+	// Version is the sender's ProtocolVersion; only meaningful on Hello.
+	Version int
+	// LastRound is the last round the client completed, -1 for a fresh
+	// client; only meaningful on Hello. The server uses it to resync a
+	// rejoining client.
+	LastRound int
 	// Err carries a human-readable error for KindError frames.
 	Err string
 }
@@ -68,18 +85,19 @@ type Message struct {
 // (128 MiB is far above any scaled model's state vector).
 const maxFrameBytes = 128 << 20
 
-// WriteMessage encodes msg as a length-prefixed gob frame.
+// WriteMessage encodes msg as a length-prefixed gob frame. The header and
+// payload go out in a single Write so a frame is never split across
+// syscalls (and fault injectors that act on whole writes see whole
+// frames).
 func WriteMessage(w io.Writer, msg *Message) error {
 	var buf bytes.Buffer
+	buf.Write(make([]byte, 4)) // header placeholder
 	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
 		return fmt.Errorf("flnet: encode %v: %w", msg.Kind, err)
 	}
-	var header [4]byte
-	binary.BigEndian.PutUint32(header[:], uint32(buf.Len()))
-	if _, err := w.Write(header[:]); err != nil {
-		return fmt.Errorf("flnet: write header: %w", err)
-	}
-	if _, err := w.Write(buf.Bytes()); err != nil {
+	frame := buf.Bytes()
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	if _, err := w.Write(frame); err != nil {
 		return fmt.Errorf("flnet: write payload: %w", err)
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/consensus"
 	"repro/internal/data"
@@ -24,6 +25,19 @@ type ServerOptions struct {
 	// Config describes the federation; Dataset/Defense/Clients/Rounds/Seed
 	// must match the client processes.
 	Config Config
+	// MinClients is the per-round quorum: after RoundDeadline a round
+	// aggregates with any set of at least MinClients updates instead of
+	// waiting for the full cohort. 0 means Config.Clients (no partial
+	// rounds).
+	MinClients int
+	// RoundDeadline bounds one round's update collection; stragglers past
+	// it are evicted (they may reconnect and rejoin). 0 means no deadline.
+	RoundDeadline time.Duration
+	// CheckpointPath, if non-empty, persists a global-model snapshot after
+	// every round and resumes from it when the server restarts.
+	CheckpointPath string
+	// Logf receives fault-tolerance progress lines (optional).
+	Logf func(format string, args ...any)
 }
 
 // MiddlewareServer is a running TCP FL server.
@@ -51,11 +65,16 @@ func NewMiddlewareServer(opts ServerOptions) (*MiddlewareServer, error) {
 		return nil, err
 	}
 	srv, err := flnet.NewServer(flnet.ServerConfig{
-		Addr:         opts.Addr,
-		NumClients:   cfg.Clients,
-		Rounds:       cfg.Rounds,
-		Defense:      def,
-		InitialState: m.StateVector(),
+		Addr:           opts.Addr,
+		NumClients:     cfg.Clients,
+		MinClients:     opts.MinClients,
+		Rounds:         cfg.Rounds,
+		RoundDeadline:  opts.RoundDeadline,
+		Defense:        def,
+		InitialState:   m.StateVector(),
+		CheckpointPath: opts.CheckpointPath,
+		Dataset:        cfg.Dataset,
+		Logf:           opts.Logf,
 	})
 	if err != nil {
 		return nil, err
@@ -74,6 +93,14 @@ func (s *MiddlewareServer) Serve(ctx context.Context) ([]float64, error) {
 // Close stops the server's listener.
 func (s *MiddlewareServer) Close() error { return s.inner.Close() }
 
+// Reports returns the per-round cohort reports (participants, dropped
+// clients, joined client errors) recorded so far.
+func (s *MiddlewareServer) Reports() []flnet.RoundReport { return s.inner.Reports() }
+
+// StartRound returns the round the federation (re)starts from: 0 for a
+// fresh run, the checkpointed round after a resume.
+func (s *MiddlewareServer) StartRound() int { return s.inner.StartRound() }
+
 // ClientOptions configures a TCP middleware client process.
 type ClientOptions struct {
 	// Addr is the server's address.
@@ -82,6 +109,16 @@ type ClientOptions struct {
 	Config Config
 	// ClientID is this participant's index in [0, Config.Clients).
 	ClientID int
+	// MaxRetries is the number of reconnection attempts after a network
+	// fault before the client gives up. 0 means the default (5); negative
+	// disables retry.
+	MaxRetries int
+	// BaseBackoff is the delay before the first reconnection attempt;
+	// consecutive failures double it with jitter. 0 means the default
+	// (100ms).
+	BaseBackoff time.Duration
+	// Logf receives reconnection progress lines (optional).
+	Logf func(format string, args ...any)
 }
 
 // ParticipantResult reports a finished client's outcome.
@@ -145,9 +182,12 @@ func RunMiddlewareClient(ctx context.Context, opts ClientOptions) (*ParticipantR
 	}
 
 	final, err := flnet.RunClient(ctx, flnet.ClientConfig{
-		Addr:    opts.Addr,
-		Trainer: trainer,
-		Defense: def,
+		Addr:        opts.Addr,
+		Trainer:     trainer,
+		Defense:     def,
+		MaxRetries:  opts.MaxRetries,
+		BaseBackoff: opts.BaseBackoff,
+		Logf:        opts.Logf,
 	})
 	if err != nil {
 		return nil, err
