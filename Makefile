@@ -1,14 +1,17 @@
 # Tier-1 verification plus the stricter gates (vet, race detector).
 #
-#   make verify   - tier-1: build + full test suite
-#   make vet      - static analysis
-#   make race     - full suite under the race detector (slow)
-#   make check    - everything above
-#   make fuzz     - short fuzz pass over the wire-protocol decoder
+#   make verify    - tier-1: build + full test suite
+#   make vet       - static analysis
+#   make race      - full suite under the race detector (slow)
+#   make adversary - Byzantine defense matrix (screen, aggregators,
+#                    poisoning suite, networked quarantine) under -race
+#   make check     - everything above
+#   make fuzz      - short fuzz pass over the wire-protocol decoder and
+#                    the update screen
 
 GO ?= go
 
-.PHONY: verify vet race check fuzz
+.PHONY: verify vet race adversary check fuzz
 
 verify:
 	$(GO) build ./...
@@ -18,9 +21,14 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
-check: verify vet race
+adversary:
+	$(GO) test -race ./internal/adversary/ ./internal/fl/ -run 'TestScreen|TestServerAggregate|TestKrum|TestMultiKrum|TestNormBounded|TestWithAggregator|TestMedian|TestTrimmedMean|Test.*Adversary|TestWrap|TestSignFlip|TestBoost|TestNoise|TestNaNBomb|TestReplay|TestStopAfter|TestFirstF|TestKinds|TestBenign'
+	$(GO) test -race ./internal/flnet/ -run TestQuarantineSurvivesReconnect
+
+check: verify vet race adversary
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadMessage -fuzztime=30s ./internal/flnet/
+	$(GO) test -run=NONE -fuzz=FuzzScreen -fuzztime=30s ./internal/fl/

@@ -9,7 +9,9 @@
 //	dinar-bench -list                    # list experiment IDs
 //
 // The rows printed correspond to the bars/curves/cells of the paper's
-// artifact; EXPERIMENTS.md records paper-vs-measured values.
+// artifact; EXPERIMENTS.md records paper-vs-measured values. Beyond the
+// paper, "ablation-obf"/"ablation-robust" sweep design choices and
+// "byzantine" runs the poisoning-attack × robust-aggregator matrix.
 package main
 
 import (

@@ -9,6 +9,12 @@
 //
 // Pair with cmd/dinar-client processes sharing the same -dataset, -defense,
 // -clients, -rounds, and -seed flags.
+//
+// Byzantine robustness: -aggregator selects a poisoning-tolerant aggregation
+// rule (krum, multi-krum, norm-bound, median, trimmed-mean) with -max-byzantine
+// as the assumed attacker count; the update screen (on by default, disable with
+// -no-screen) rejects malformed/NaN updates and quarantines offenders for
+// -quarantine-rounds rounds, optionally clipping oversized deltas (-clip-norms).
 package main
 
 import (
@@ -43,6 +49,12 @@ func run(args []string) error {
 		minClients = fs.Int("min-clients", 0, "round quorum; after -round-deadline a round aggregates with this many updates (0 = full cohort)")
 		deadline   = fs.Duration("round-deadline", 0, "per-round collection deadline; stragglers past it are evicted (0 = wait forever)")
 		ckpt       = fs.String("checkpoint", "", "snapshot file persisted every round; restarting with the same path resumes the federation")
+
+		aggregator = fs.String("aggregator", "fedavg", "aggregation rule: fedavg, median, trimmed-mean, krum, multi-krum, norm-bound")
+		maxByz     = fs.Int("max-byzantine", 0, "assumed number of malicious clients the robust aggregator tolerates")
+		noScreen   = fs.Bool("no-screen", false, "disable the Byzantine update screen (shape/NaN validation, rejection, quarantine)")
+		clipNorms  = fs.Bool("clip-norms", false, "additionally clip oversized update deltas to a running median-of-norms bound")
+		quarantine = fs.Int("quarantine-rounds", 0, "rounds a poisoning client stays excluded after rejection (0 = default 3, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,16 +63,21 @@ func run(args []string) error {
 	srv, err := dinar.NewMiddlewareServer(dinar.ServerOptions{
 		Addr: *addr,
 		Config: dinar.Config{
-			Dataset: *dataset,
-			Defense: *def,
-			Clients: *clients,
-			Rounds:  *rounds,
-			Seed:    *seed,
-			Records: *records,
+			Dataset:      *dataset,
+			Defense:      *def,
+			Clients:      *clients,
+			Rounds:       *rounds,
+			Seed:         *seed,
+			Records:      *records,
+			Aggregator:   *aggregator,
+			MaxByzantine: *maxByz,
 		},
-		MinClients:     *minClients,
-		RoundDeadline:  *deadline,
-		CheckpointPath: *ckpt,
+		MinClients:       *minClients,
+		RoundDeadline:    *deadline,
+		CheckpointPath:   *ckpt,
+		NoScreen:         *noScreen,
+		ClipNorms:        *clipNorms,
+		QuarantineRounds: *quarantine,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},

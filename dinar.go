@@ -82,6 +82,19 @@ type Config struct {
 	Seed int64
 	// Parallel trains clients concurrently.
 	Parallel bool
+	// Aggregator selects the server-side aggregation rule: "fedavg" (the
+	// default, the defense's own rule), "median", "trimmed-mean", "krum",
+	// "multi-krum", or "norm-bound". The robust rules tolerate up to
+	// MaxByzantine poisoned updates per round.
+	Aggregator string
+	// MaxByzantine is the assumed number of malicious clients f the robust
+	// aggregator must tolerate.
+	MaxByzantine int
+}
+
+// Aggregators lists the selectable server-side aggregation rules.
+func Aggregators() []string {
+	return append([]string(nil), fl.AggregatorNames...)
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +166,8 @@ func New(cfg Config) (*System, error) {
 		DirichletAlpha: cfg.DirichletAlpha,
 		Seed:           cfg.Seed,
 		Parallel:       cfg.Parallel,
+		Aggregator:     cfg.Aggregator,
+		MaxByzantine:   cfg.MaxByzantine,
 	}
 	sys, err := fl.NewSystem(flCfg, def)
 	if err != nil {

@@ -13,7 +13,7 @@ func TestListings(t *testing.T) {
 	if len(Datasets()) != 7 {
 		t.Fatalf("Datasets = %v", Datasets())
 	}
-	if len(Experiments()) != 14 {
+	if len(Experiments()) != 15 {
 		t.Fatalf("Experiments = %v", Experiments())
 	}
 }

@@ -1,0 +1,235 @@
+// Package adversary implements deterministic, seeded Byzantine-client
+// behaviors for the learning rounds, mirroring internal/faultnet's design
+// for the transport layer: a Schedule maps client ids to poisoning Plans,
+// and the same seed produces bit-identical corrupted payloads on every run,
+// so robustness tests and experiments are reproducible.
+//
+// The adversary is packaged as a Defense wrapper: it delegates every hook
+// to the wrapped (honest) defense and then corrupts the upload of scheduled
+// clients in BeforeUpload — exactly where a malicious client would deviate
+// from the protocol, after local training and after the legitimate defense
+// transformations. The same wrapper therefore works in the in-process
+// fl.System (shared defense instance, per-client updates) and as the
+// defense of a malicious flnet client process.
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/fl"
+)
+
+// Kind selects a poisoning strategy.
+type Kind int
+
+// Poisoning strategies.
+const (
+	// Benign leaves the upload untouched.
+	Benign Kind = iota
+	// SignFlip uploads global − Scale·(state − global): the client's honest
+	// progress, inverted.
+	SignFlip
+	// Boost uploads global + Scale·(state − global): the model-replacement
+	// attack, amplifying the client's delta to dominate the average.
+	Boost
+	// Noise adds N(0, Sigma²) to every coordinate.
+	Noise
+	// NaNBomb plants NaN and ±Inf coordinates, which corrupt FedAvg sums
+	// and misorder sort-based aggregators.
+	NaNBomb
+	// Replay re-uploads the state from the client's first poisoned round
+	// every round after it (a stale-round replay).
+	Replay
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Benign:
+		return "benign"
+	case SignFlip:
+		return "sign-flip"
+	case Boost:
+		return "boost"
+	case Noise:
+		return "noise"
+	case NaNBomb:
+		return "nan-bomb"
+	case Replay:
+		return "replay"
+	default:
+		return fmt.Sprintf("adversary(%d)", int(k))
+	}
+}
+
+// Kinds returns every attack strategy (excluding Benign) in declaration
+// order — the experiment matrix iterates this.
+func Kinds() []Kind {
+	return []Kind{SignFlip, Boost, Noise, NaNBomb, Replay}
+}
+
+// Plan is the poisoning behavior assigned to one client.
+type Plan struct {
+	Kind Kind
+	// Scale is the delta amplification for SignFlip (default 1) and Boost
+	// (default 10).
+	Scale float64
+	// Sigma is the noise standard deviation for Noise (default 1).
+	Sigma float64
+	// StopAfter bounds the attack to rounds < StopAfter; 0 poisons every
+	// round. Tests use it to model a transient compromise.
+	StopAfter int
+}
+
+// Schedule returns the plan for a client id. Schedules must be pure
+// functions of the id so runs are reproducible.
+type Schedule func(clientID int) Plan
+
+// None is the all-benign schedule.
+func None(int) Plan { return Plan{} }
+
+// Mark assigns plan to the listed client ids and Benign to everyone else.
+func Mark(plan Plan, ids ...int) Schedule {
+	marked := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		marked[id] = true
+	}
+	return func(clientID int) Plan {
+		if marked[clientID] {
+			return plan
+		}
+		return Plan{}
+	}
+}
+
+// FirstF marks clients 0..f-1 as malicious with plan — the conventional
+// "f of n" Byzantine cohort.
+func FirstF(f int, plan Plan) Schedule {
+	return func(clientID int) Plan {
+		if clientID < f {
+			return plan
+		}
+		return Plan{}
+	}
+}
+
+// Defense wraps an honest defense with scheduled poisoning. Safe for
+// concurrent use by parallel clients.
+type Defense struct {
+	inner    fl.Defense
+	seed     int64
+	schedule Schedule
+
+	mu      sync.Mutex
+	replays map[int][]float64
+}
+
+var _ fl.Defense = (*Defense)(nil)
+
+// Wrap builds the adversarial wrapper. A nil schedule means None.
+func Wrap(inner fl.Defense, seed int64, schedule Schedule) *Defense {
+	if schedule == nil {
+		schedule = None
+	}
+	return &Defense{
+		inner:    inner,
+		seed:     seed,
+		schedule: schedule,
+		replays:  make(map[int][]float64),
+	}
+}
+
+// Name implements fl.Defense.
+func (d *Defense) Name() string { return d.inner.Name() + "+adversary" }
+
+// Bind implements fl.Defense.
+func (d *Defense) Bind(info fl.ModelInfo) error { return d.inner.Bind(info) }
+
+// OnGlobalModel implements fl.Defense.
+func (d *Defense) OnGlobalModel(clientID, round int, global []float64) []float64 {
+	return d.inner.OnGlobalModel(clientID, round, global)
+}
+
+// Aggregate implements fl.Defense (the server side stays honest).
+func (d *Defense) Aggregate(round int, prevGlobal []float64, updates []*fl.Update) ([]float64, error) {
+	return d.inner.Aggregate(round, prevGlobal, updates)
+}
+
+// BeforeUpload implements fl.Defense: the honest defense runs first, then
+// the scheduled corruption.
+func (d *Defense) BeforeUpload(round int, global []float64, u *fl.Update) {
+	d.inner.BeforeUpload(round, global, u)
+	plan := d.schedule(u.ClientID)
+	if plan.Kind == Benign || (plan.StopAfter > 0 && round >= plan.StopAfter) {
+		return
+	}
+	d.corrupt(plan, round, global, u)
+}
+
+// mix derives a deterministic 64-bit stream seed from (seed, client, round)
+// with a SplitMix64-style hash, so each poisoned upload has independent but
+// reproducible randomness.
+func mix(seed int64, clientID, round int) int64 {
+	z := uint64(seed) ^ uint64(clientID)*0x9e3779b97f4a7c15 ^ uint64(round)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+func (d *Defense) corrupt(plan Plan, round int, global []float64, u *fl.Update) {
+	switch plan.Kind {
+	case SignFlip:
+		scale := plan.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		for i := range u.State {
+			u.State[i] = global[i] - scale*(u.State[i]-global[i])
+		}
+	case Boost:
+		scale := plan.Scale
+		if scale == 0 {
+			scale = 10
+		}
+		for i := range u.State {
+			u.State[i] = global[i] + scale*(u.State[i]-global[i])
+		}
+	case Noise:
+		sigma := plan.Sigma
+		if sigma == 0 {
+			sigma = 1
+		}
+		rng := rand.New(rand.NewSource(mix(d.seed, u.ClientID, round)))
+		for i := range u.State {
+			u.State[i] += rng.NormFloat64() * sigma
+		}
+	case NaNBomb:
+		for i := range u.State {
+			if i%7 == 0 {
+				u.State[i] = math.NaN()
+			}
+		}
+		if len(u.State) > 1 {
+			u.State[1] = math.Inf(1)
+		}
+		if len(u.State) > 2 {
+			u.State[2] = math.Inf(-1)
+		}
+	case Replay:
+		d.mu.Lock()
+		cached := d.replays[u.ClientID]
+		if cached == nil {
+			// First poisoned round: upload honestly but remember the state —
+			// every later round replays it.
+			d.replays[u.ClientID] = append([]float64(nil), u.State...)
+			d.mu.Unlock()
+			return
+		}
+		d.mu.Unlock()
+		u.State = append([]float64(nil), cached...)
+	}
+}

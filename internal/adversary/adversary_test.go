@@ -1,0 +1,239 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fl"
+)
+
+// identityDefense is a minimal honest defense for the wrapper tests.
+type identityDefense struct{ bound bool }
+
+func (d *identityDefense) Name() string { return "none" }
+func (d *identityDefense) Bind(fl.ModelInfo) error {
+	d.bound = true
+	return nil
+}
+func (d *identityDefense) OnGlobalModel(_, _ int, global []float64) []float64 {
+	return append([]float64(nil), global...)
+}
+func (d *identityDefense) BeforeUpload(_ int, _ []float64, _ *fl.Update) {}
+func (d *identityDefense) Aggregate(_ int, _ []float64, updates []*fl.Update) ([]float64, error) {
+	return fl.FedAvg(updates)
+}
+
+func upload(d *Defense, clientID, round int, global, state []float64) *fl.Update {
+	u := &fl.Update{ClientID: clientID, Round: round, State: append([]float64(nil), state...), NumSamples: 1}
+	d.BeforeUpload(round, global, u)
+	return u
+}
+
+func TestWrapDelegates(t *testing.T) {
+	inner := &identityDefense{}
+	d := Wrap(inner, 1, nil)
+	if d.Name() != "none+adversary" {
+		t.Fatalf("name = %q", d.Name())
+	}
+	if err := d.Bind(fl.ModelInfo{NumParams: 1, NumState: 1}); err != nil || !inner.bound {
+		t.Fatal("Bind not delegated")
+	}
+	if got := d.OnGlobalModel(0, 0, []float64{4})[0]; got != 4 {
+		t.Fatal("OnGlobalModel not delegated")
+	}
+	got, err := d.Aggregate(0, nil, []*fl.Update{{State: []float64{2}, NumSamples: 1}})
+	if err != nil || got[0] != 2 {
+		t.Fatal("Aggregate not delegated")
+	}
+}
+
+func TestBenignScheduleLeavesUploadUntouched(t *testing.T) {
+	d := Wrap(&identityDefense{}, 1, None)
+	u := upload(d, 0, 0, []float64{0, 0}, []float64{1, 2})
+	if u.State[0] != 1 || u.State[1] != 2 {
+		t.Fatalf("benign upload mutated: %v", u.State)
+	}
+}
+
+func TestSignFlip(t *testing.T) {
+	d := Wrap(&identityDefense{}, 1, Mark(Plan{Kind: SignFlip}, 0))
+	global := []float64{1, 1}
+	u := upload(d, 0, 0, global, []float64{2, 0.5})
+	// global - (state - global): deltas +1 and -0.5 become -1 and +0.5.
+	if u.State[0] != 0 || u.State[1] != 1.5 {
+		t.Fatalf("sign-flip = %v, want [0 1.5]", u.State)
+	}
+	// Unscheduled clients stay honest.
+	u = upload(d, 1, 0, global, []float64{2, 0.5})
+	if u.State[0] != 2 {
+		t.Fatalf("unmarked client corrupted: %v", u.State)
+	}
+}
+
+func TestBoost(t *testing.T) {
+	d := Wrap(&identityDefense{}, 1, Mark(Plan{Kind: Boost}, 0))
+	u := upload(d, 0, 0, []float64{0}, []float64{1})
+	if u.State[0] != 10 { // default scale 10
+		t.Fatalf("boost = %v, want [10]", u.State)
+	}
+	d = Wrap(&identityDefense{}, 1, Mark(Plan{Kind: Boost, Scale: 3}, 0))
+	u = upload(d, 0, 0, []float64{0}, []float64{1})
+	if u.State[0] != 3 {
+		t.Fatalf("boost(scale=3) = %v, want [3]", u.State)
+	}
+}
+
+func TestNoiseDeterministicPerSeed(t *testing.T) {
+	mk := func(seed int64) []float64 {
+		d := Wrap(&identityDefense{}, seed, Mark(Plan{Kind: Noise, Sigma: 0.5}, 0))
+		return upload(d, 0, 3, []float64{0, 0, 0}, []float64{1, 1, 1}).State
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %g vs %g", i, a[i], b[i])
+		}
+		if a[i] == 1 {
+			t.Fatalf("noise did not perturb coordinate %d", i)
+		}
+	}
+	c := mk(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestNoiseVariesAcrossRoundsAndClients(t *testing.T) {
+	d := Wrap(&identityDefense{}, 7, FirstF(2, Plan{Kind: Noise}))
+	r0 := upload(d, 0, 0, []float64{0}, []float64{0}).State[0]
+	r1 := upload(d, 0, 1, []float64{0}, []float64{0}).State[0]
+	c1 := upload(d, 1, 0, []float64{0}, []float64{0}).State[0]
+	if r0 == r1 || r0 == c1 {
+		t.Fatalf("noise streams should be independent: r0=%g r1=%g c1=%g", r0, r1, c1)
+	}
+}
+
+func TestNaNBomb(t *testing.T) {
+	d := Wrap(&identityDefense{}, 1, Mark(Plan{Kind: NaNBomb}, 0))
+	state := make([]float64, 16)
+	u := upload(d, 0, 0, make([]float64, 16), state)
+	if !math.IsNaN(u.State[0]) || !math.IsNaN(u.State[7]) || !math.IsNaN(u.State[14]) {
+		t.Fatalf("every 7th coordinate should be NaN: %v", u.State)
+	}
+	if !math.IsInf(u.State[1], 1) || !math.IsInf(u.State[2], -1) {
+		t.Fatalf("coordinates 1/2 should be +/-Inf: %v", u.State)
+	}
+}
+
+func TestReplayUploadsStaleState(t *testing.T) {
+	d := Wrap(&identityDefense{}, 1, Mark(Plan{Kind: Replay}, 0))
+	global := []float64{0}
+	// Round 0: the honest state is cached and uploaded unchanged.
+	u := upload(d, 0, 0, global, []float64{1})
+	if u.State[0] != 1 {
+		t.Fatalf("first replay round should upload honestly: %v", u.State)
+	}
+	// Later rounds replay the cached round-0 state regardless of progress.
+	u = upload(d, 0, 1, global, []float64{5})
+	if u.State[0] != 1 {
+		t.Fatalf("round 1 should replay the stale state: %v", u.State)
+	}
+	u = upload(d, 0, 7, global, []float64{9})
+	if u.State[0] != 1 {
+		t.Fatalf("round 7 should replay the stale state: %v", u.State)
+	}
+	// Other clients have independent caches.
+	u = upload(d, 1, 1, global, []float64{5})
+	if u.State[0] != 5 {
+		t.Fatalf("unmarked client corrupted: %v", u.State)
+	}
+}
+
+func TestStopAfterBoundsAttack(t *testing.T) {
+	d := Wrap(&identityDefense{}, 1, Mark(Plan{Kind: Boost, StopAfter: 2}, 0))
+	if u := upload(d, 0, 0, []float64{0}, []float64{1}); u.State[0] != 10 {
+		t.Fatalf("round 0 should be poisoned: %v", u.State)
+	}
+	if u := upload(d, 0, 1, []float64{0}, []float64{1}); u.State[0] != 10 {
+		t.Fatalf("round 1 should be poisoned: %v", u.State)
+	}
+	if u := upload(d, 0, 2, []float64{0}, []float64{1}); u.State[0] != 1 {
+		t.Fatalf("round 2 should be honest again: %v", u.State)
+	}
+}
+
+func TestFirstF(t *testing.T) {
+	s := FirstF(3, Plan{Kind: SignFlip})
+	for id := 0; id < 3; id++ {
+		if s(id).Kind != SignFlip {
+			t.Fatalf("client %d should be malicious", id)
+		}
+	}
+	if s(3).Kind != Benign {
+		t.Fatal("client 3 should be benign")
+	}
+}
+
+func TestKindsAndStrings(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != 5 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if k == Benign {
+			t.Fatal("Kinds must exclude Benign")
+		}
+		name := k.String()
+		if name == "" || seen[name] {
+			t.Fatalf("kind %d has bad name %q", k, name)
+		}
+		seen[name] = true
+	}
+	if Benign.String() != "benign" {
+		t.Fatalf("benign name = %q", Benign.String())
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kinds need a printable name")
+	}
+}
+
+// TestAdversaryInSystem wires the wrapper into a real federation: with plain
+// FedAvg and no screen, one boosting client visibly shifts the aggregate
+// compared to an honest run with the same seed.
+func TestAdversaryInSystem(t *testing.T) {
+	run := func(schedule Schedule) []float64 {
+		sys, err := fl.NewSystem(fl.Config{
+			Dataset:     "purchase100",
+			Records:     300,
+			Clients:     3,
+			Rounds:      1,
+			LocalEpochs: 1,
+			BatchSize:   32,
+			Seed:        5,
+			NoScreen:    true,
+		}, Wrap(&identityDefense{}, 5, schedule))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(t.Context()); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Server.GlobalState()
+	}
+	honest := run(None)
+	poisoned := run(Mark(Plan{Kind: Boost, Scale: 50}, 0))
+	diff := 0.0
+	for i := range honest {
+		diff += math.Abs(honest[i] - poisoned[i])
+	}
+	if diff == 0 {
+		t.Fatal("boosting client did not move the aggregate")
+	}
+}

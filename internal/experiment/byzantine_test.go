@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+)
+
+// TestByzantineMatrix is the PR's acceptance scenario: with 10 clients of
+// which 3 are seeded adversaries, the robust aggregators hold the global
+// accuracy near their no-adversary baseline while plain FedAvg demonstrably
+// degrades under the boost attack, and NaN bombs never reach the global
+// state.
+func TestByzantineMatrix(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("24 federated runs take ~15min under the race detector; the adversary/screen/aggregator concurrency is race-covered by make adversary")
+	}
+	// The smoke-scale quick() run barely learns on a 100-class dataset, so
+	// degradation would be invisible; this slightly larger configuration
+	// reaches ~9% clean accuracy in a few seconds per run.
+	o := quick()
+	o.Records = 1200
+	o.Rounds = 5
+	o.LocalEpochs = 3
+	res, err := Byzantine(context.Background(), o, "",
+		[]adversary.Kind{adversary.Boost, adversary.NaNBomb}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clients != 10 || res.F != 3 {
+		t.Fatalf("cohort geometry = %d/%d, want 10/3", res.Clients, res.F)
+	}
+	if len(res.Attacks) != 3 || res.Attacks[0] != "benign" {
+		t.Fatalf("attacks = %v", res.Attacks)
+	}
+
+	// Plain FedAvg is hijacked by the boosted minority.
+	fedavgClean := res.Baseline("fedavg")
+	fedavgBoost := res.Cells["boost"]["fedavg"].GlobalAccuracy
+	if fedavgClean-fedavgBoost <= 2 {
+		t.Fatalf("fedavg should degrade under boost: clean %.2f%%, boosted %.2f%%",
+			fedavgClean, fedavgBoost)
+	}
+
+	// The robust rules stay within 2 points of their own no-adversary run
+	// (one-sided: an attack can only hurt; chance improvements from the
+	// changed selection are fine).
+	for _, agg := range []string{"krum", "multi-krum", "norm-bound"} {
+		clean := res.Baseline(agg)
+		boost := res.Cells["boost"][agg].GlobalAccuracy
+		if diff := clean - boost; diff > 2 {
+			t.Fatalf("%s degraded %.2f points under boost (clean %.2f%%, boosted %.2f%%)",
+				agg, diff, clean, boost)
+		}
+	}
+
+	// NaN bombs are screened out before aggregation for every rule: the
+	// global state stays finite and the three poisoners are rejected and
+	// quarantined.
+	for _, agg := range res.Aggregators {
+		cell := res.Cells["nan-bomb"][agg]
+		if !cell.FiniteGlobal {
+			t.Fatalf("%s: NaN reached the global state", agg)
+		}
+		if cell.Rejected < res.F {
+			t.Fatalf("%s: only %d rejections for %d poisoners", agg, cell.Rejected, res.F)
+		}
+		if cell.Quarantined == 0 {
+			t.Fatalf("%s: poisoners were never quarantined", agg)
+		}
+	}
+	for _, agg := range res.Aggregators {
+		if cell := res.Cells["benign"][agg]; cell.Rejected != 0 || cell.Quarantined != 0 {
+			t.Fatalf("%s: benign run produced verdicts: %+v", agg, cell)
+		}
+	}
+
+	tbl := res.Table().String()
+	for _, want := range []string{"benign", "boost", "nan-bomb", "krum acc (%)"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}

@@ -254,8 +254,8 @@ func TestFig11Quick(t *testing.T) {
 
 func TestRegistryDispatch(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 14 {
-		t.Fatalf("registered experiments = %d, want 14", len(ids))
+	if len(ids) != 15 {
+		t.Fatalf("registered experiments = %d, want 15", len(ids))
 	}
 	tbl, err := Run(context.Background(), "table1", quick())
 	if err != nil {

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiment
+
+// raceDetectorEnabled lets heavyweight accuracy tests skip themselves under
+// the race detector, where they run ~10x slower and blow the per-package
+// timeout. The concurrency they exercise is race-covered by faster tests
+// (`make adversary`); the accuracy assertions run in `make verify`.
+const raceDetectorEnabled = true

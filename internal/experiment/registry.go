@@ -110,6 +110,15 @@ var Registry = map[string]Runner{
 		}
 		return r.Table(), nil
 	},
+	// Byzantine-client robustness matrix: every seeded poisoning strategy
+	// against every aggregation rule, behind the default update screen.
+	"byzantine": func(ctx context.Context, o Options) (*metrics.Table, error) {
+		r, err := Byzantine(ctx, o, "", nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
 }
 
 // IDs returns the registered experiment IDs in sorted order.

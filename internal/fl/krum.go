@@ -1,0 +1,214 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Distance-based Byzantine-robust aggregators (Blanchard et al., "Machine
+// Learning with Adversaries", NeurIPS 2017) and norm-bounded averaging.
+// Unlike the coordinate-wise rules in robust.go, Krum scores whole update
+// vectors by their distance to the closest peers, so a colluding minority
+// cannot shift the aggregate even when each poisoned coordinate individually
+// looks plausible.
+
+// isFinite reports whether every coordinate of state is a finite float.
+func isFinite(state []float64) bool {
+	for _, v := range state {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// finiteUpdates returns the updates whose state vectors are fully finite.
+// Non-finite updates must never enter a distance or sort computation (NaN
+// poisons both), so every robust rule filters through this first.
+func finiteUpdates(updates []*Update) []*Update {
+	out := make([]*Update, 0, len(updates))
+	for _, u := range updates {
+		if isFinite(u.State) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// krumSelect returns the m updates with the lowest Krum scores. The score of
+// update i is the sum of its n−f−2 smallest squared distances to the other
+// updates; ties break on ClientID so selection is deterministic.
+func krumSelect(updates []*Update, f, m int) ([]*Update, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("fl: krum of zero updates")
+	}
+	if f < 0 {
+		return nil, fmt.Errorf("fl: krum with negative f %d", f)
+	}
+	updates = finiteUpdates(updates)
+	n := len(updates)
+	if n == 0 {
+		return nil, fmt.Errorf("fl: krum: every update carries non-finite values")
+	}
+	k := n - f - 2 // closest neighbors per score
+	if k < 1 {
+		return nil, fmt.Errorf("fl: krum needs at least f+3=%d finite updates, got %d", f+3, n)
+	}
+	d := len(updates[0].State)
+	for _, u := range updates {
+		if len(u.State) != d {
+			return nil, fmt.Errorf("fl: update from client %d has %d values, want %d", u.ClientID, len(u.State), d)
+		}
+	}
+
+	// Pairwise squared L2 distances.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := 0.0
+			a, b := updates[i].State, updates[j].State
+			for c := range a {
+				diff := a[c] - b[c]
+				s += diff * diff
+			}
+			dist[i][j] = s
+			dist[j][i] = s
+		}
+	}
+
+	scores := make([]float64, n)
+	neighbor := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		neighbor = neighbor[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				neighbor = append(neighbor, dist[i][j])
+			}
+		}
+		sort.Float64s(neighbor)
+		s := 0.0
+		for _, v := range neighbor[:k] {
+			s += v
+		}
+		scores[i] = s
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] < scores[ib]
+		}
+		return updates[ia].ClientID < updates[ib].ClientID
+	})
+
+	if m < 1 {
+		m = 1
+	}
+	if m > k {
+		// Multi-Krum's guarantee holds for at most n−f−2 selections.
+		m = k
+	}
+	selected := make([]*Update, m)
+	for i := 0; i < m; i++ {
+		selected[i] = updates[order[i]]
+	}
+	return selected, nil
+}
+
+// Krum returns the single update closest to its n−f−2 nearest peers,
+// tolerating up to f Byzantine updates out of n ≥ f+3.
+func Krum(updates []*Update, f int) ([]float64, error) {
+	sel, err := krumSelect(updates, f, 1)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), sel[0].State...), nil
+}
+
+// MultiKrum averages the m best-scoring updates under the Krum criterion
+// (sample-count-weighted, like FedAvg). m ≤ 0 selects the maximum n−f−2.
+func MultiKrum(updates []*Update, f, m int) ([]float64, error) {
+	if m <= 0 {
+		m = len(updates) // clamped to n−f−2 inside krumSelect
+	}
+	sel, err := krumSelect(updates, f, m)
+	if err != nil {
+		return nil, err
+	}
+	return FedAvg(sel)
+}
+
+// NormBoundedFedAvg clips every update's delta (state − prevGlobal) to
+// multiple × the median delta norm of the round, then averages with FedAvg.
+// A boosted update keeps its direction but loses its amplification, so a
+// minority cannot dominate the weighted mean. Non-finite updates are
+// dropped. multiple ≤ 0 defaults to 1 (clip to the median itself).
+func NormBoundedFedAvg(prevGlobal []float64, updates []*Update, multiple float64) ([]float64, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("fl: norm-bounded FedAvg of zero updates")
+	}
+	updates = finiteUpdates(updates)
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("fl: norm-bounded FedAvg: every update carries non-finite values")
+	}
+	if multiple <= 0 {
+		multiple = 1
+	}
+	n := len(prevGlobal)
+	norms := make([]float64, len(updates))
+	for i, u := range updates {
+		if len(u.State) != n {
+			return nil, fmt.Errorf("fl: update from client %d has %d values, want %d", u.ClientID, len(u.State), n)
+		}
+		norms[i] = DeltaNorm(prevGlobal, u.State)
+	}
+	sorted := append([]float64(nil), norms...)
+	sort.Float64s(sorted)
+	med := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		med = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	bound := multiple * med
+	if bound <= 0 {
+		// Degenerate round (all deltas zero): nothing to clip.
+		return FedAvg(updates)
+	}
+	clipped := make([]*Update, len(updates))
+	for i, u := range updates {
+		if norms[i] <= bound {
+			clipped[i] = u
+			continue
+		}
+		scale := bound / norms[i]
+		state := make([]float64, n)
+		for c := range state {
+			state[c] = prevGlobal[c] + scale*(u.State[c]-prevGlobal[c])
+		}
+		cu := *u
+		cu.State = state
+		clipped[i] = &cu
+	}
+	return FedAvg(clipped)
+}
+
+// DeltaNorm returns the L2 norm of state − prevGlobal. When lengths differ
+// it returns +Inf, which every norm bound rejects.
+func DeltaNorm(prevGlobal, state []float64) float64 {
+	if len(prevGlobal) != len(state) {
+		return math.Inf(1)
+	}
+	s := 0.0
+	for i := range state {
+		d := state[i] - prevGlobal[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,258 @@
+package fl
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// cluster builds n near-identical honest updates around base plus the given
+// Byzantine states, with distinct client ids.
+func cluster(n int, base []float64, byz ...[]float64) []*Update {
+	out := make([]*Update, 0, n+len(byz))
+	for i := 0; i < n; i++ {
+		state := make([]float64, len(base))
+		for c := range state {
+			state[c] = base[c] + 0.01*float64(i)
+		}
+		out = append(out, &Update{ClientID: i, State: state, NumSamples: 1})
+	}
+	for j, s := range byz {
+		out = append(out, &Update{ClientID: n + j, State: s, NumSamples: 1})
+	}
+	return out
+}
+
+func TestKrumPicksHonestUpdate(t *testing.T) {
+	updates := cluster(5, []float64{1, 1},
+		[]float64{100, -100},
+		[]float64{-80, 90},
+	)
+	got, err := Krum(updates, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if math.Abs(v-1) > 0.1 {
+			t.Fatalf("krum picked a poisoned update: %v", got)
+		}
+	}
+}
+
+func TestKrumReturnsCopy(t *testing.T) {
+	updates := cluster(4, []float64{1, 1})
+	got, err := Krum(updates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 999
+	for _, u := range updates {
+		if u.State[0] == 999 {
+			t.Fatal("krum aliased an input state")
+		}
+	}
+}
+
+func TestKrumIgnoresNonFinite(t *testing.T) {
+	updates := cluster(4, []float64{1, 1},
+		[]float64{math.NaN(), 1},
+		[]float64{1, math.Inf(1)},
+	)
+	// f=1 against 4 finite updates still satisfies n >= f+3.
+	got, err := Krum(updates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("krum returned non-finite state: %v", got)
+		}
+	}
+}
+
+func TestKrumErrors(t *testing.T) {
+	if _, err := Krum(nil, 0); err == nil {
+		t.Fatal("accepted zero updates")
+	}
+	if _, err := Krum(cluster(4, []float64{1}), -1); err == nil {
+		t.Fatal("accepted negative f")
+	}
+	// n=4 with f=2 leaves n-f-2=0 neighbors: too few updates.
+	if _, err := Krum(cluster(4, []float64{1}), 2); err == nil {
+		t.Fatal("accepted n < f+3")
+	}
+	if _, err := Krum(mkUpdates([]float64{math.NaN()}, []float64{math.Inf(1)}, []float64{math.NaN()}), 0); err == nil {
+		t.Fatal("accepted all-non-finite updates")
+	}
+	if _, err := Krum(mkUpdates([]float64{1}, []float64{2}, []float64{3, 4}), 0); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+}
+
+func TestKrumDeterministicTieBreak(t *testing.T) {
+	// Identical states tie on score; the lowest client id must win, in any
+	// input order.
+	a := &Update{ClientID: 2, State: []float64{1}, NumSamples: 1}
+	b := &Update{ClientID: 0, State: []float64{1}, NumSamples: 1}
+	c := &Update{ClientID: 1, State: []float64{1}, NumSamples: 1}
+	sel, err := krumSelect([]*Update{a, b, c}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0].ClientID != 0 {
+		t.Fatalf("tie broke to client %d, want 0", sel[0].ClientID)
+	}
+}
+
+func TestMultiKrumAveragesSelection(t *testing.T) {
+	updates := cluster(6, []float64{2, 2},
+		[]float64{1e6, 1e6},
+	)
+	// f=1, m<=0 selects the maximum n-f-2 = 4 honest updates.
+	got, err := MultiKrum(updates, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if math.Abs(v-2) > 0.1 {
+			t.Fatalf("multi-krum hijacked: %v", got)
+		}
+	}
+	// Explicit m=2 averages the two best.
+	got, err = MultiKrum(updates, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-2) > 0.1 {
+		t.Fatalf("multi-krum(m=2) = %v", got)
+	}
+}
+
+func TestNormBoundedFedAvgClipsBoost(t *testing.T) {
+	prev := []float64{0, 0}
+	// Four honest deltas of norm ~1, one boosted to norm 100 in the same
+	// direction: clipping must bring the mean back near the honest mean.
+	updates := mkUpdates(
+		[]float64{1, 0},
+		[]float64{0.9, 0},
+		[]float64{1.1, 0},
+		[]float64{1, 0},
+		[]float64{100, 0},
+	)
+	got, err := NormBoundedFedAvg(prev, updates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] > 1.2 || got[0] < 0.8 {
+		t.Fatalf("norm-bounded mean = %v, want ~1", got)
+	}
+
+	// Without the bound the boost dominates.
+	plain, err := FedAvg(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0] < 10 {
+		t.Fatalf("plain FedAvg should be hijacked, got %v", plain)
+	}
+}
+
+func TestNormBoundedFedAvgDropsNonFinite(t *testing.T) {
+	prev := []float64{0}
+	got, err := NormBoundedFedAvg(prev, mkUpdates(
+		[]float64{1},
+		[]float64{math.NaN()},
+		[]float64{1},
+	), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatalf("norm-bounded mean = %v, want 1", got)
+	}
+}
+
+func TestNormBoundedFedAvgDegenerate(t *testing.T) {
+	// All-zero deltas: median norm is 0, nothing to clip.
+	prev := []float64{5, 5}
+	got, err := NormBoundedFedAvg(prev, mkUpdates([]float64{5, 5}, []float64{5, 5}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 || got[1] != 5 {
+		t.Fatalf("degenerate round = %v", got)
+	}
+}
+
+func TestNormBoundedFedAvgErrors(t *testing.T) {
+	if _, err := NormBoundedFedAvg([]float64{0}, nil, 1); err == nil {
+		t.Fatal("accepted zero updates")
+	}
+	if _, err := NormBoundedFedAvg([]float64{0}, mkUpdates([]float64{math.Inf(1)}), 1); err == nil {
+		t.Fatal("accepted all-non-finite updates")
+	}
+	if _, err := NormBoundedFedAvg([]float64{0}, mkUpdates([]float64{1, 2}), 1); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+}
+
+func TestDeltaNorm(t *testing.T) {
+	if got := DeltaNorm([]float64{0, 0}, []float64{3, 4}); got != 5 {
+		t.Fatalf("norm = %g, want 5", got)
+	}
+	if got := DeltaNorm([]float64{0}, []float64{1, 2}); !math.IsInf(got, 1) {
+		t.Fatalf("mismatched lengths should yield +Inf, got %g", got)
+	}
+}
+
+func TestWithAggregator(t *testing.T) {
+	inner := &noneDefense{}
+
+	// "fedavg"/"" keep the defense untouched.
+	for _, name := range []string{"", "fedavg"} {
+		def, err := WithAggregator(inner, name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if def != Defense(inner) {
+			t.Fatalf("%q should return the inner defense unchanged", name)
+		}
+	}
+
+	cases := []struct {
+		name string
+		rule RobustRule
+	}{
+		{"median", RuleMedian},
+		{"trimmed-mean", RuleTrimmedMean},
+		{"krum", RuleKrum},
+		{"multi-krum", RuleMultiKrum},
+		{"norm-bound", RuleNormBound},
+	}
+	for _, c := range cases {
+		def, err := WithAggregator(inner, c.name, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, ok := def.(*RobustDefense)
+		if !ok {
+			t.Fatalf("%q should wrap with RobustDefense", c.name)
+		}
+		if r.Rule != c.rule {
+			t.Fatalf("%q wired rule %v, want %v", c.name, r.Rule, c.rule)
+		}
+	}
+
+	// trimmed-mean trims f per side; f=0 falls back to 1.
+	def, _ := WithAggregator(inner, "trimmed-mean", 0)
+	if def.(*RobustDefense).Trim != 1 {
+		t.Fatalf("trim = %d, want 1", def.(*RobustDefense).Trim)
+	}
+
+	if _, err := WithAggregator(inner, "nope", 0); err == nil || !strings.Contains(err.Error(), "unknown aggregator") {
+		t.Fatalf("unknown name should error, got %v", err)
+	}
+	if _, err := WithAggregator(inner, "krum", -1); err == nil {
+		t.Fatal("negative f should error")
+	}
+}

@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -10,8 +11,24 @@ import (
 // learning rounds: a minority of corrupted clients cannot hijack the global
 // model through crafted updates. They compose with any client-side defense.
 
+// finiteColumn gathers coordinate i of every update, skipping NaN/Inf
+// values: sort.Float64s misorders NaN (it compares false against
+// everything), so a single NaN coordinate would silently corrupt the
+// median/trim order instead of being out-voted like a finite outlier.
+func finiteColumn(column []float64, updates []*Update, i int) []float64 {
+	column = column[:0]
+	for _, u := range updates {
+		if v := u.State[i]; !math.IsNaN(v) && !math.IsInf(v, 0) {
+			column = append(column, v)
+		}
+	}
+	return column
+}
+
 // Median computes the coordinate-wise median of the updates' state vectors.
-// It tolerates up to ⌈N/2⌉−1 arbitrarily corrupted updates per coordinate.
+// It tolerates up to ⌈N/2⌉−1 arbitrarily corrupted updates per coordinate;
+// non-finite coordinates are filtered out before ordering. A coordinate with
+// no finite value at all is an error.
 func Median(updates []*Update) ([]float64, error) {
 	if len(updates) == 0 {
 		return nil, fmt.Errorf("fl: median of zero updates")
@@ -23,10 +40,11 @@ func Median(updates []*Update) ([]float64, error) {
 		}
 	}
 	out := make([]float64, n)
-	column := make([]float64, len(updates))
+	column := make([]float64, 0, len(updates))
 	for i := 0; i < n; i++ {
-		for j, u := range updates {
-			column[j] = u.State[i]
+		column = finiteColumn(column, updates, i)
+		if len(column) == 0 {
+			return nil, fmt.Errorf("fl: median: coordinate %d has no finite value across %d updates", i, len(updates))
 		}
 		sort.Float64s(column)
 		mid := len(column) / 2
@@ -56,18 +74,19 @@ func TrimmedMean(updates []*Update, trim int) ([]float64, error) {
 		}
 	}
 	out := make([]float64, n)
-	column := make([]float64, len(updates))
-	kept := float64(len(updates) - 2*trim)
+	column := make([]float64, 0, len(updates))
 	for i := 0; i < n; i++ {
-		for j, u := range updates {
-			column[j] = u.State[i]
+		column = finiteColumn(column, updates, i)
+		if 2*trim >= len(column) {
+			return nil, fmt.Errorf("fl: trimmed mean: coordinate %d has %d finite values, need > %d for trim %d",
+				i, len(column), 2*trim, trim)
 		}
 		sort.Float64s(column)
 		s := 0.0
 		for _, v := range column[trim : len(column)-trim] {
 			s += v
 		}
-		out[i] = s / kept
+		out[i] = s / float64(len(column)-2*trim)
 	}
 	return out, nil
 }
@@ -79,6 +98,9 @@ type RobustRule int
 const (
 	RuleMedian RobustRule = iota + 1
 	RuleTrimmedMean
+	RuleKrum
+	RuleMultiKrum
+	RuleNormBound
 )
 
 // RobustDefense wraps any defense, replacing its server-side aggregation
@@ -91,6 +113,14 @@ type RobustDefense struct {
 	Rule RobustRule
 	// Trim is the per-side trim count for RuleTrimmedMean.
 	Trim int
+	// F is the assumed number of Byzantine clients for the Krum family.
+	F int
+	// M is the selection count for RuleMultiKrum (≤ 0 selects the maximum
+	// n−F−2).
+	M int
+	// NormMultiple scales RuleNormBound's clip bound relative to the round's
+	// median delta norm (≤ 0 means 1).
+	NormMultiple float64
 }
 
 var _ Defense = (*RobustDefense)(nil)
@@ -117,11 +147,52 @@ func (r *RobustDefense) BeforeUpload(round int, global []float64, u *Update) {
 }
 
 // Aggregate implements Defense with the robust rule.
-func (r *RobustDefense) Aggregate(_ int, _ []float64, updates []*Update) ([]float64, error) {
+func (r *RobustDefense) Aggregate(_ int, prevGlobal []float64, updates []*Update) ([]float64, error) {
 	switch r.Rule {
 	case RuleTrimmedMean:
 		return TrimmedMean(updates, r.Trim)
+	case RuleKrum:
+		return Krum(updates, r.F)
+	case RuleMultiKrum:
+		return MultiKrum(updates, r.F, r.M)
+	case RuleNormBound:
+		return NormBoundedFedAvg(prevGlobal, updates, r.NormMultiple)
 	default:
 		return Median(updates)
+	}
+}
+
+// AggregatorNames lists the selectable server-side aggregation rules in the
+// order the -aggregator flag documents them.
+var AggregatorNames = []string{"fedavg", "median", "trimmed-mean", "krum", "multi-krum", "norm-bound"}
+
+// WithAggregator wraps def so its server-side aggregation uses the named
+// rule, keeping the client-side hooks untouched. f is the assumed number of
+// Byzantine clients: it sets the per-side trim count for "trimmed-mean" and
+// the tolerance of the Krum family. "fedavg" (or "") returns def unchanged —
+// the defense's own aggregation rule applies.
+func WithAggregator(def Defense, name string, f int) (Defense, error) {
+	if f < 0 {
+		return nil, fmt.Errorf("fl: negative Byzantine count %d", f)
+	}
+	switch name {
+	case "", "fedavg":
+		return def, nil
+	case "median":
+		return &RobustDefense{Inner: def, Rule: RuleMedian}, nil
+	case "trimmed-mean":
+		trim := f
+		if trim == 0 {
+			trim = 1
+		}
+		return &RobustDefense{Inner: def, Rule: RuleTrimmedMean, Trim: trim}, nil
+	case "krum":
+		return &RobustDefense{Inner: def, Rule: RuleKrum, F: f}, nil
+	case "multi-krum":
+		return &RobustDefense{Inner: def, Rule: RuleMultiKrum, F: f}, nil
+	case "norm-bound":
+		return &RobustDefense{Inner: def, Rule: RuleNormBound}, nil
+	default:
+		return nil, fmt.Errorf("fl: unknown aggregator %q (have %v)", name, AggregatorNames)
 	}
 }

@@ -98,6 +98,57 @@ func TestTrimmedMeanErrors(t *testing.T) {
 	}
 }
 
+// Regression: sort.Float64s compares NaN as false against everything, so a
+// single poisoned coordinate used to land wherever the sort left it and
+// silently shift the median/trim window. Non-finite values must be filtered
+// out before ordering, leaving the honest majority in charge.
+func TestMedianFiltersNonFinite(t *testing.T) {
+	got, err := Median(mkUpdates(
+		[]float64{1, 1},
+		[]float64{2, 2},
+		[]float64{3, 3},
+		[]float64{math.NaN(), math.Inf(1)},
+		[]float64{math.NaN(), math.Inf(-1)},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 2 {
+		t.Fatalf("median with NaN column = %v, want [2 2]", got)
+	}
+
+	// A coordinate with no finite value at all cannot be aggregated.
+	if _, err := Median(mkUpdates([]float64{math.NaN()}, []float64{math.Inf(1)})); err == nil {
+		t.Fatal("accepted an all-non-finite coordinate")
+	}
+}
+
+func TestTrimmedMeanFiltersNonFinite(t *testing.T) {
+	got, err := TrimmedMean(mkUpdates(
+		[]float64{-100},
+		[]float64{1},
+		[]float64{2},
+		[]float64{3},
+		[]float64{100},
+		[]float64{math.NaN()},
+	), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("trimmed mean with NaN = %v, want [2]", got)
+	}
+
+	// Filtering may leave too few finite values for the trim window.
+	if _, err := TrimmedMean(mkUpdates(
+		[]float64{1},
+		[]float64{math.NaN()},
+		[]float64{math.Inf(1)},
+	), 1); err == nil {
+		t.Fatal("accepted a trim window larger than the finite column")
+	}
+}
+
 func TestRobustDefenseWrapsInner(t *testing.T) {
 	inner := &noneDefense{}
 	r := NewRobust(inner)

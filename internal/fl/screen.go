@@ -1,0 +1,275 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// The screen is the update validation stage every round passes through
+// before the defense's aggregation rule runs: structurally invalid or
+// non-finite updates are rejected outright, over-norm updates are clipped
+// or rejected against a running median-of-norms bound, and repeat offenders
+// are quarantined — their updates are excluded for a fixed number of rounds
+// even if they reconnect under the fault-tolerance path.
+
+// ScreenConfig configures the update screen. The zero value is a useful
+// default: reject non-finite updates, no norm clipping, quarantine after
+// the first offense for three rounds.
+type ScreenConfig struct {
+	// AllowNonFinite disables the NaN/Inf rejection. Leave false: a single
+	// NaN coordinate corrupts FedAvg and misorders sort-based rules.
+	AllowNonFinite bool
+	// ClipNorms enables delta-norm validation: each update's L2 distance to
+	// the round's starting global state is compared against a running
+	// median of recently accepted norms. Off by default because defenses
+	// with legitimately outsized uploads (secure aggregation's masked
+	// states) must not be clipped.
+	ClipNorms bool
+	// NormMultiple scales the clip bound (default 3): deltas with norm in
+	// (NormMultiple×median, RejectMultiple×median] are scaled down to the
+	// bound.
+	NormMultiple float64
+	// RejectMultiple scales the rejection bound (default 10): deltas past
+	// it are dropped and count as an offense.
+	RejectMultiple float64
+	// HistoryWindow is how many recent accepted norms the running median
+	// covers (default 64).
+	HistoryWindow int
+	// MinHistory is how many accepted norms must be observed before norm
+	// verdicts activate (default 4) — the first rounds calibrate the bound.
+	MinHistory int
+	// Strikes is the number of rejected updates before a client is
+	// quarantined (default 1).
+	Strikes int
+	// QuarantineRounds is how many rounds a quarantined client's updates
+	// are excluded for (default 3). Negative disables quarantine.
+	QuarantineRounds int
+}
+
+func (c ScreenConfig) withDefaults() ScreenConfig {
+	if c.NormMultiple <= 0 {
+		c.NormMultiple = 3
+	}
+	if c.RejectMultiple <= 0 {
+		c.RejectMultiple = 10
+	}
+	if c.RejectMultiple < c.NormMultiple {
+		c.RejectMultiple = c.NormMultiple
+	}
+	if c.HistoryWindow <= 0 {
+		c.HistoryWindow = 64
+	}
+	if c.MinHistory <= 0 {
+		c.MinHistory = 4
+	}
+	if c.Strikes <= 0 {
+		c.Strikes = 1
+	}
+	if c.QuarantineRounds == 0 {
+		c.QuarantineRounds = 3
+	}
+	return c
+}
+
+// ScreenVerdict records why one update was rejected.
+type ScreenVerdict struct {
+	ClientID int
+	Reason   string
+}
+
+// ScreenReport is one round's screening outcome.
+type ScreenReport struct {
+	// Round is the round the verdicts belong to.
+	Round int
+	// Accepted lists the client ids whose updates reached the defense
+	// (including clipped ones).
+	Accepted []int
+	// Clipped lists the client ids whose deltas were norm-clipped.
+	Clipped []int
+	// Rejected lists the rejected updates with reasons.
+	Rejected []ScreenVerdict
+	// Quarantined lists client ids whose updates were dropped because the
+	// client is serving a quarantine penalty from an earlier round.
+	Quarantined []int
+	// NewlyQuarantined lists client ids whose penalty started this round.
+	NewlyQuarantined []int
+}
+
+// RejectedIDs returns the rejected client ids.
+func (r *ScreenReport) RejectedIDs() []int {
+	ids := make([]int, len(r.Rejected))
+	for i, v := range r.Rejected {
+		ids[i] = v.ClientID
+	}
+	return ids
+}
+
+// Screen validates updates and tracks per-client reputation. Safe for
+// concurrent use.
+type Screen struct {
+	cfg ScreenConfig
+
+	mu sync.Mutex
+	// norms is the ring of recently accepted delta norms.
+	norms []float64
+	// offenses counts rejected updates per client.
+	offenses map[int]int
+	// blockedUntil maps a quarantined client to the last round (inclusive)
+	// its updates are excluded.
+	blockedUntil map[int]int
+}
+
+// NewScreen builds a screen from cfg (zero value: defaults).
+func NewScreen(cfg ScreenConfig) *Screen {
+	return &Screen{
+		cfg:          cfg.withDefaults(),
+		offenses:     make(map[int]int),
+		blockedUntil: make(map[int]int),
+	}
+}
+
+// Quarantined reports whether clientID's updates are excluded at round.
+func (s *Screen) Quarantined(clientID, round int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined(clientID, round)
+}
+
+// quarantined is the lock-free core of Quarantined. The existence check
+// matters: the map's zero value would otherwise quarantine every client at
+// round 0. Callers hold s.mu.
+func (s *Screen) quarantined(clientID, round int) bool {
+	until, ok := s.blockedUntil[clientID]
+	return ok && round <= until
+}
+
+// Offenses returns how many of clientID's updates have been rejected.
+func (s *Screen) Offenses(clientID int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.offenses[clientID]
+}
+
+// medianNorm returns the running median of accepted norms; ok is false
+// until MinHistory norms are recorded. Callers hold s.mu.
+func (s *Screen) medianNorm() (float64, bool) {
+	if len(s.norms) < s.cfg.MinHistory {
+		return 0, false
+	}
+	sorted := append([]float64(nil), s.norms...)
+	sort.Float64s(sorted)
+	med := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		med = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	return med, med > 0
+}
+
+// recordNorm pushes an accepted norm into the ring. Callers hold s.mu.
+func (s *Screen) recordNorm(norm float64) {
+	s.norms = append(s.norms, norm)
+	if len(s.norms) > s.cfg.HistoryWindow {
+		s.norms = s.norms[len(s.norms)-s.cfg.HistoryWindow:]
+	}
+}
+
+// reject books an offense for clientID at round and starts a quarantine
+// penalty when the strike budget is exhausted. Callers hold s.mu. Returns
+// whether the client was newly quarantined.
+func (s *Screen) reject(clientID, round int) bool {
+	s.offenses[clientID]++
+	if s.cfg.QuarantineRounds < 0 || s.offenses[clientID] < s.cfg.Strikes {
+		return false
+	}
+	until := round + s.cfg.QuarantineRounds
+	if prev, ok := s.blockedUntil[clientID]; ok && until <= prev {
+		return false
+	}
+	already := s.quarantined(clientID, round)
+	s.blockedUntil[clientID] = until
+	return !already
+}
+
+// Apply screens one round's updates against prevGlobal (the state the
+// round started from) and returns the survivors plus the verdict report.
+// Input updates are never mutated; clipped updates are copies.
+func (s *Screen) Apply(round int, prevGlobal []float64, updates []*Update) ([]*Update, ScreenReport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	report := ScreenReport{Round: round}
+	kept := make([]*Update, 0, len(updates))
+	for _, u := range updates {
+		if s.quarantined(u.ClientID, round) {
+			report.Quarantined = append(report.Quarantined, u.ClientID)
+			continue
+		}
+		if reason := s.validate(prevGlobal, u); reason != "" {
+			report.Rejected = append(report.Rejected, ScreenVerdict{ClientID: u.ClientID, Reason: reason})
+			if s.reject(u.ClientID, round) {
+				report.NewlyQuarantined = append(report.NewlyQuarantined, u.ClientID)
+			}
+			continue
+		}
+		u, clipped := s.clip(prevGlobal, u)
+		if clipped {
+			report.Clipped = append(report.Clipped, u.ClientID)
+		}
+		kept = append(kept, u)
+		report.Accepted = append(report.Accepted, u.ClientID)
+	}
+	return kept, report
+}
+
+// validate returns a rejection reason, or "" for a structurally sound
+// update. Callers hold s.mu.
+func (s *Screen) validate(prevGlobal []float64, u *Update) string {
+	if len(u.State) != len(prevGlobal) {
+		return fmt.Sprintf("state has %d values, want %d", len(u.State), len(prevGlobal))
+	}
+	if u.NumSamples < 0 {
+		return fmt.Sprintf("negative sample count %d", u.NumSamples)
+	}
+	if !s.cfg.AllowNonFinite {
+		for i, v := range u.State {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Sprintf("non-finite value %g at coordinate %d", v, i)
+			}
+		}
+	}
+	if s.cfg.ClipNorms {
+		if med, ok := s.medianNorm(); ok {
+			if norm := DeltaNorm(prevGlobal, u.State); norm > s.cfg.RejectMultiple*med {
+				return fmt.Sprintf("delta norm %.4g exceeds reject bound %.4g", norm, s.cfg.RejectMultiple*med)
+			}
+		}
+	}
+	return ""
+}
+
+// clip applies the norm bound to an accepted update, returning a scaled
+// copy when the delta exceeds the bound, and records the accepted norm.
+// Callers hold s.mu.
+func (s *Screen) clip(prevGlobal []float64, u *Update) (*Update, bool) {
+	if !s.cfg.ClipNorms {
+		return u, false
+	}
+	norm := DeltaNorm(prevGlobal, u.State)
+	med, ok := s.medianNorm()
+	if !ok || norm <= s.cfg.NormMultiple*med {
+		s.recordNorm(norm)
+		return u, false
+	}
+	bound := s.cfg.NormMultiple * med
+	scale := bound / norm
+	state := make([]float64, len(u.State))
+	for i := range state {
+		state[i] = prevGlobal[i] + scale*(u.State[i]-prevGlobal[i])
+	}
+	cu := *u
+	cu.State = state
+	s.recordNorm(bound)
+	return &cu, true
+}

@@ -14,6 +14,9 @@ type Server struct {
 	def   Defense
 	meter *metrics.CostMeter
 	round int
+
+	screen        *Screen
+	screenReports []ScreenReport
 }
 
 // NewServer returns a server whose initial global state is a copy of initial.
@@ -51,16 +54,51 @@ func (s *Server) SetRound(r int) {
 	s.round = r
 }
 
+// SetScreen installs an update screen (validator + quarantine tracker)
+// that every round's updates pass through before the defense aggregates.
+// A nil screen disables screening.
+func (s *Server) SetScreen(sc *Screen) { s.screen = sc }
+
+// Screen returns the installed update screen (nil when screening is off).
+func (s *Server) Screen() *Screen { return s.screen }
+
+// ScreenReports returns a copy of the per-round screening reports recorded
+// so far (empty without a screen).
+func (s *Server) ScreenReports() []ScreenReport {
+	return append([]ScreenReport(nil), s.screenReports...)
+}
+
+// LastScreenReport returns the most recent round's screening report.
+func (s *Server) LastScreenReport() (ScreenReport, bool) {
+	if len(s.screenReports) == 0 {
+		return ScreenReport{}, false
+	}
+	return s.screenReports[len(s.screenReports)-1], true
+}
+
 // Aggregate folds the round's client updates into a new global state via the
-// defense's aggregation rule and advances the round counter.
+// defense's aggregation rule and advances the round counter. Every update's
+// state length is validated against the server state before the defense
+// runs: without a screen a mismatch fails the round; with one, mismatched
+// (or poisoned) updates are screened out and only the survivors aggregate.
 func (s *Server) Aggregate(updates []*Update) error {
 	if len(updates) == 0 {
 		return fmt.Errorf("fl: round %d received no updates", s.round)
 	}
-	for _, u := range updates {
-		if len(u.State) != len(s.state) {
-			return fmt.Errorf("fl: round %d update from client %d has %d values, want %d",
-				s.round, u.ClientID, len(u.State), len(s.state))
+	if s.screen != nil {
+		kept, report := s.screen.Apply(s.round, s.state, updates)
+		s.screenReports = append(s.screenReports, report)
+		if len(kept) == 0 {
+			return fmt.Errorf("fl: round %d: no updates survived screening (%d rejected, %d quarantined)",
+				s.round, len(report.Rejected), len(report.Quarantined))
+		}
+		updates = kept
+	} else {
+		for _, u := range updates {
+			if len(u.State) != len(s.state) {
+				return fmt.Errorf("fl: round %d update from client %d has %d values, want %d",
+					s.round, u.ClientID, len(u.State), len(s.state))
+			}
 		}
 	}
 	start := time.Now()

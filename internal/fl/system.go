@@ -46,6 +46,20 @@ type Config struct {
 	Seed int64
 	// Parallel trains clients concurrently when true.
 	Parallel bool
+	// Aggregator selects the server-side aggregation rule ("fedavg",
+	// "median", "trimmed-mean", "krum", "multi-krum", "norm-bound"); empty
+	// means the defense's own rule (FedAvg for most defenses).
+	Aggregator string
+	// MaxByzantine is the assumed number of malicious clients f the robust
+	// aggregator must tolerate (Krum family tolerance, trimmed-mean trim).
+	MaxByzantine int
+	// NoScreen disables the server's update screen. By default every
+	// round's updates are validated (shape, NaN/Inf) and offenders are
+	// quarantined before the defense aggregates.
+	NoScreen bool
+	// ClipNorms additionally enables the screen's delta-norm clipping
+	// against a running median-of-norms bound.
+	ClipNorms bool
 }
 
 // withDefaults fills unset fields with the paper's §5.3 defaults, scaled.
@@ -100,6 +114,10 @@ func NewSystem(cfg Config, def Defense) (*System, error) {
 	cfg = cfg.withDefaults()
 	if def == nil {
 		return nil, fmt.Errorf("fl: nil defense (use defense.None for the baseline)")
+	}
+	def, err := WithAggregator(def, cfg.Aggregator, cfg.MaxByzantine)
+	if err != nil {
+		return nil, err
 	}
 	spec, err := data.Lookup(cfg.Dataset)
 	if err != nil {
@@ -160,6 +178,9 @@ func NewSystem(cfg Config, def Defense) (*System, error) {
 	server, err := NewServer(initState, def, meter)
 	if err != nil {
 		return nil, err
+	}
+	if !cfg.NoScreen {
+		server.SetScreen(NewScreen(ScreenConfig{ClipNorms: cfg.ClipNorms}))
 	}
 	return &System{
 		Config:  cfg,

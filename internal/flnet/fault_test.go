@@ -3,6 +3,7 @@ package flnet
 import (
 	"bytes"
 	"context"
+	"math"
 	"math/rand"
 	"net"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/data"
 	"repro/internal/defense"
 	"repro/internal/faultnet"
@@ -702,6 +704,113 @@ func TestHelloVersionValidated(t *testing.T) {
 		t.Fatalf("want a version-mismatch error frame, got %+v", msg)
 	}
 	cancel()
+}
+
+// TestQuarantineSurvivesReconnect is the Byzantine acceptance scenario: a
+// client that uploads a NaN bomb in round 0 is rejected by the screen,
+// evicted, and quarantined. Its automatic reconnection (the PR-1 fault
+// tolerance path) resyncs it into the federation, but its updates — now
+// honest — stay excluded until the penalty expires; only then does it
+// participate again.
+func TestQuarantineSurvivesReconnect(t *testing.T) {
+	const (
+		numClients = 3
+		rounds     = 4
+		poisonerID = 2
+	)
+	bed := newFedBed(t, numClients)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	srv, _, srvOut := startServer(t, ctx, ServerConfig{
+		NumClients: numClients,
+		MinClients: numClients, // full quorum: every round waits for the rejoin
+		Rounds:     rounds,
+		// The deadline only backstops a failed rejoin; quorum rounds
+		// normally proceed the moment the rejoined client reports.
+		RoundDeadline: 30 * time.Second,
+		Defense:       bed.defense("none"),
+		InitialState:  bed.initialState(),
+		IOTimeout:     30 * time.Second,
+		Screen:        fl.ScreenConfig{QuarantineRounds: 2},
+	}, nil)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, numClients)
+	for id := 0; id < numClients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			def := bed.defense("none")
+			if id == poisonerID {
+				// Poison round 0 only: the later exclusions prove the
+				// quarantine penalty, not continued misbehavior.
+				def = adversary.Wrap(def, fbSeed, adversary.Mark(
+					adversary.Plan{Kind: adversary.NaNBomb, StopAfter: 1}, poisonerID))
+			}
+			_, err := RunClient(ctx, ClientConfig{
+				Addr:        srv.Addr().String(),
+				Trainer:     bed.trainer(id),
+				Defense:     def,
+				MaxRetries:  5,
+				BaseBackoff: 20 * time.Millisecond,
+			})
+			if err != nil {
+				errCh <- err
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	out := <-srvOut
+	if out.err != nil {
+		t.Fatalf("federation failed: %v", out.err)
+	}
+	for i, v := range out.state {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("NaN bomb reached the global state at coordinate %d: %g", i, v)
+		}
+	}
+
+	reports := srv.Reports()
+	if len(reports) != rounds {
+		t.Fatalf("got %d reports, want %d", len(reports), rounds)
+	}
+	// Round 0: the poisoned update is rejected, the client evicted.
+	if !containsID(reports[0].Rejected, poisonerID) {
+		t.Fatalf("round 0 should reject the poisoner: %+v", reports[0])
+	}
+	if !containsID(reports[0].Dropped, poisonerID) {
+		t.Fatalf("round 0 should evict the poisoner: %+v", reports[0])
+	}
+	if containsID(reports[0].Participants, poisonerID) {
+		t.Fatalf("round 0 must not count the poisoner as a participant: %+v", reports[0])
+	}
+	// Rounds 1-2: the reconnected client reports honest updates but stays
+	// excluded while the quarantine penalty lasts.
+	for _, r := range reports[1:3] {
+		if !containsID(r.Quarantined, poisonerID) {
+			t.Fatalf("round %d should quarantine the rejoined poisoner: %+v", r.Round, r)
+		}
+		if containsID(r.Participants, poisonerID) {
+			t.Fatalf("round %d must exclude the quarantined client: %+v", r.Round, r)
+		}
+		if len(r.Rejected) != 0 {
+			t.Fatalf("round %d: honest updates must not count as offenses: %+v", r.Round, r)
+		}
+	}
+	// Round 3: the penalty expired; the client is a full participant again.
+	last := reports[rounds-1]
+	if !containsID(last.Participants, poisonerID) {
+		t.Fatalf("round %d should readmit the client: %+v", last.Round, last)
+	}
+	if len(last.Quarantined) != 0 || len(last.Rejected) != 0 {
+		t.Fatalf("round %d should be clean: %+v", last.Round, last)
+	}
 }
 
 // TestRegistrationDeadline covers the bounded accept loop: with a short

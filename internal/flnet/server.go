@@ -60,6 +60,13 @@ type ServerConfig struct {
 	// Dataset tags checkpoints; resuming from a snapshot recorded for a
 	// different dataset is an error. Optional.
 	Dataset string
+	// NoScreen disables the Byzantine update screen. By default every
+	// round's updates are validated (shape, NaN/Inf) before aggregation,
+	// rejected senders are evicted, and repeat offenders are quarantined.
+	NoScreen bool
+	// Screen configures the update screen when screening is enabled; the
+	// zero value selects the fl.ScreenConfig defaults.
+	Screen fl.ScreenConfig
 	// Listener, if non-nil, is used instead of listening on Addr — tests
 	// inject faultnet wrappers here. It should support SetDeadline.
 	Listener net.Listener
@@ -76,9 +83,20 @@ type RoundReport struct {
 	// Participants lists the client ids whose updates were aggregated.
 	Participants []int
 	// Dropped lists the client ids evicted during the round (stragglers
-	// past the deadline, dead connections, protocol violations). A dropped
-	// client may rejoin in a later round.
+	// past the deadline, dead connections, protocol violations, poisoners
+	// rejected by the screen). A dropped client may rejoin in a later
+	// round.
 	Dropped []int
+	// Rejected lists the client ids whose updates the screen rejected this
+	// round (NaN/Inf payloads, shape mismatches, over-norm deltas).
+	// Rejected clients are evicted; they may rejoin, but stay quarantined.
+	Rejected []int
+	// Quarantined lists the client ids whose updates were excluded because
+	// the client is serving a quarantine penalty from an earlier offense.
+	Quarantined []int
+	// Clipped lists the client ids whose update deltas were norm-clipped
+	// before aggregation.
+	Clipped []int
 	// Err joins the errors of every failed client in the round; it may be
 	// non-nil even when the round aggregated successfully with a quorum.
 	Err error
@@ -158,6 +176,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	core.SetRound(startRound)
+	if !cfg.NoScreen {
+		core.SetScreen(fl.NewScreen(cfg.Screen))
+	}
 
 	ln := cfg.Listener
 	if ln == nil {
@@ -238,18 +259,23 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 
 	for round := s.startRound; round < s.cfg.Rounds; round++ {
 		updates, report, err := s.runRound(ctx, round)
-		s.mu.Lock()
-		s.reports = append(s.reports, report)
-		s.mu.Unlock()
 		if err != nil {
+			s.mu.Lock()
+			s.reports = append(s.reports, report)
+			s.mu.Unlock()
 			return nil, fmt.Errorf("flnet: round %d: %w", round, err)
 		}
 		// Arrival order is nondeterministic; aggregate in client order so a
 		// federation's result is reproducible run-to-run (and across a
 		// checkpoint resume).
 		sort.Slice(updates, func(i, j int) bool { return updates[i].ClientID < updates[j].ClientID })
-		if err := s.core.Aggregate(updates); err != nil {
-			return nil, err
+		aggErr := s.core.Aggregate(updates)
+		s.applyScreenOutcome(round, &report)
+		s.mu.Lock()
+		s.reports = append(s.reports, report)
+		s.mu.Unlock()
+		if aggErr != nil {
+			return nil, aggErr
 		}
 		if s.cfg.CheckpointPath != "" {
 			snap := &checkpoint.Snapshot{
@@ -550,6 +576,54 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 	}
 }
 
+// applyScreenOutcome merges the round's screening report (if any) into the
+// cohort report and evicts the sessions of rejected clients: a poisoner is
+// disconnected like any other protocol violator. It may rejoin via the
+// resync path, but while its quarantine penalty lasts its updates keep
+// being excluded from aggregation.
+func (s *Server) applyScreenOutcome(round int, report *RoundReport) {
+	rep, ok := s.core.LastScreenReport()
+	if !ok || rep.Round != round {
+		return
+	}
+	report.Rejected = rep.RejectedIDs()
+	report.Quarantined = append([]int(nil), rep.Quarantined...)
+	report.Clipped = append([]int(nil), rep.Clipped...)
+	excluded := make(map[int]bool, len(report.Rejected)+len(report.Quarantined))
+	for _, id := range report.Rejected {
+		excluded[id] = true
+	}
+	for _, id := range report.Quarantined {
+		excluded[id] = true
+	}
+	if len(excluded) == 0 {
+		return
+	}
+	participants := report.Participants[:0]
+	for _, id := range report.Participants {
+		if !excluded[id] {
+			participants = append(participants, id)
+		}
+	}
+	report.Participants = participants
+	for _, v := range rep.Rejected {
+		s.mu.Lock()
+		sess := s.live[v.ClientID]
+		if sess != nil {
+			delete(s.live, v.ClientID)
+		}
+		s.mu.Unlock()
+		if sess != nil {
+			sess.conn.Close()
+			report.Dropped = append(report.Dropped, v.ClientID)
+			s.cfg.Logf("flnet: round %d: evicted client %d: %s", round, v.ClientID, v.Reason)
+		}
+	}
+	if len(rep.NewlyQuarantined) > 0 {
+		s.cfg.Logf("flnet: round %d: quarantined clients %v", round, rep.NewlyQuarantined)
+	}
+}
+
 // exchange sends the round's global state and reads the client's update.
 func (s *Server) exchange(sess *session, round int, global []float64) (*fl.Update, error) {
 	if err := s.send(sess, &Message{Kind: KindGlobal, Round: round, State: global}); err != nil {
@@ -569,6 +643,15 @@ func (s *Server) exchange(sess *session, round int, global []float64) (*fl.Updat
 	}
 	if msg.Round != round {
 		return nil, fmt.Errorf("update for round %d during round %d", msg.Round, round)
+	}
+	// Structural wire validation: a mis-sized vector or negative weight can
+	// only come from a broken or malicious peer; fail the exchange (and
+	// evict) instead of letting it reach the aggregation path.
+	if len(msg.State) != len(global) {
+		return nil, fmt.Errorf("update state has %d values, want %d", len(msg.State), len(global))
+	}
+	if msg.NumSamples < 0 {
+		return nil, fmt.Errorf("update carries negative sample count %d", msg.NumSamples)
 	}
 	return &fl.Update{
 		ClientID:   sess.clientID,

@@ -36,6 +36,15 @@ type ServerOptions struct {
 	// CheckpointPath, if non-empty, persists a global-model snapshot after
 	// every round and resumes from it when the server restarts.
 	CheckpointPath string
+	// NoScreen disables the Byzantine update screen (validation, rejection
+	// and quarantine of poisoned updates). On by default.
+	NoScreen bool
+	// ClipNorms additionally enables delta-norm clipping against a running
+	// median-of-norms bound.
+	ClipNorms bool
+	// QuarantineRounds overrides how many rounds a poisoning client stays
+	// excluded after rejection (0 = default 3, negative disables).
+	QuarantineRounds int
 	// Logf receives fault-tolerance progress lines (optional).
 	Logf func(format string, args ...any)
 }
@@ -61,6 +70,10 @@ func NewMiddlewareServer(opts ServerOptions) (*MiddlewareServer, error) {
 	if err != nil {
 		return nil, err
 	}
+	def, err = fl.WithAggregator(def, cfg.Aggregator, cfg.MaxByzantine)
+	if err != nil {
+		return nil, err
+	}
 	if err := def.Bind(fl.InfoOf(m)); err != nil {
 		return nil, err
 	}
@@ -74,7 +87,12 @@ func NewMiddlewareServer(opts ServerOptions) (*MiddlewareServer, error) {
 		InitialState:   m.StateVector(),
 		CheckpointPath: opts.CheckpointPath,
 		Dataset:        cfg.Dataset,
-		Logf:           opts.Logf,
+		NoScreen:       opts.NoScreen,
+		Screen: fl.ScreenConfig{
+			ClipNorms:        opts.ClipNorms,
+			QuarantineRounds: opts.QuarantineRounds,
+		},
+		Logf: opts.Logf,
 	})
 	if err != nil {
 		return nil, err
