@@ -1,17 +1,22 @@
 # Tier-1 verification plus the stricter gates (vet, race detector).
 #
-#   make verify    - tier-1: build + full test suite
-#   make vet       - static analysis
-#   make race      - full suite under the race detector (slow)
-#   make adversary - Byzantine defense matrix (screen, aggregators,
-#                    poisoning suite, networked quarantine) under -race
-#   make check     - everything above
-#   make fuzz      - short fuzz pass over the wire-protocol decoder and
-#                    the update screen
+#   make verify     - tier-1: build + full test suite
+#   make vet        - static analysis
+#   make race       - full suite under the race detector (slow)
+#   make adversary  - Byzantine defense matrix (screen, aggregators,
+#                     poisoning suite, networked quarantine) under -race
+#   make alloc      - allocation-regression guard: the training hot path
+#                     must stay zero-allocation in steady state
+#   make check      - everything above
+#   make fuzz       - short fuzz pass over the wire-protocol decoder and
+#                     the update screen
+#   make bench      - kernel + per-layer hot-path microbenchmarks
+#   make bench-json - rerun the tracked hot-path suite, updating
+#                     BENCH_hotpath.json (baseline section is preserved)
 
 GO ?= go
 
-.PHONY: verify vet race adversary check fuzz
+.PHONY: verify vet race adversary alloc check fuzz bench bench-json
 
 verify:
 	$(GO) build ./...
@@ -27,7 +32,17 @@ adversary:
 	$(GO) test -race ./internal/adversary/ ./internal/fl/ -run 'TestScreen|TestServerAggregate|TestKrum|TestMultiKrum|TestNormBounded|TestWithAggregator|TestMedian|TestTrimmedMean|Test.*Adversary|TestWrap|TestSignFlip|TestBoost|TestNoise|TestNaNBomb|TestReplay|TestStopAfter|TestFirstF|TestKinds|TestBenign'
 	$(GO) test -race ./internal/flnet/ -run TestQuarantineSurvivesReconnect
 
-check: verify vet race adversary
+alloc:
+	$(GO) test ./internal/nn/ -run 'TestSteadyStateZeroAllocs|TestMatMulSteadyStateZeroAllocs' -v
+	$(GO) test ./internal/tensor/ -run TestWorkspaceSteadyStateAllocs -v
+
+check: verify vet race adversary alloc
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./internal/tensor/ ./internal/nn/
+
+bench-json:
+	$(GO) run ./cmd/dinar-bench -json BENCH_hotpath.json
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadMessage -fuzztime=30s ./internal/flnet/

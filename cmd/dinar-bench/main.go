@@ -7,6 +7,7 @@
 //	dinar-bench -exp fig6 -quick         # reduced smoke scale
 //	dinar-bench -exp all                 # everything (long)
 //	dinar-bench -list                    # list experiment IDs
+//	dinar-bench -json BENCH_hotpath.json # run the hot-path benchmark suite
 //
 // The rows printed correspond to the bars/curves/cells of the paper's
 // artifact; EXPERIMENTS.md records paper-vs-measured values. Beyond the
@@ -22,6 +23,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/experiment"
 )
 
@@ -39,9 +41,10 @@ func run(args []string) error {
 		list    = fs.Bool("list", false, "list experiment IDs and exit")
 		quick   = fs.Bool("quick", false, "reduced smoke-scale configuration")
 		seed    = fs.Int64("seed", 1, "experiment seed")
-		records = fs.Int("records", 0, "override dataset record count")
-		rounds  = fs.Int("rounds", 0, "override FL rounds")
-		clients = fs.Int("clients", 0, "override FL client count")
+		records  = fs.Int("records", 0, "override dataset record count")
+		rounds   = fs.Int("rounds", 0, "override FL rounds")
+		clients  = fs.Int("clients", 0, "override FL client count")
+		jsonPath = fs.String("json", "", "run the hot-path benchmark suite and write results to this JSON file (preserving any recorded baseline)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +53,17 @@ func run(args []string) error {
 		for _, id := range experiment.IDs() {
 			fmt.Println(id)
 		}
+		return nil
+	}
+	if *jsonPath != "" {
+		fmt.Println("running hot-path benchmark suite...")
+		snap := bench.RunHotPath(func(format string, a ...any) {
+			fmt.Printf(format, a...)
+		})
+		if err := bench.WriteFile(*jsonPath, snap); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 		return nil
 	}
 	if *exp == "" {

@@ -1,0 +1,203 @@
+// Package bench measures the training hot path — per-layer forward/backward
+// steps, the matmul kernels under them, and one end-to-end quick experiment —
+// and records the results in a JSON file (BENCH_hotpath.json at the repo
+// root) alongside a preserved baseline snapshot, so performance regressions
+// show up as a diff instead of an anecdote.
+//
+// The suite runs through testing.Benchmark, so each entry self-calibrates its
+// iteration count and reports ns/op, B/op, and allocs/op exactly like
+// `go test -bench`.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	Iterations  int   `json:"iterations"`
+}
+
+// Snapshot is one full run of the hot-path suite.
+type Snapshot struct {
+	Commit     string            `json:"commit,omitempty"`
+	Note       string            `json:"note,omitempty"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Results    map[string]Result `json:"results"`
+}
+
+// File is the on-disk layout of BENCH_hotpath.json: the current snapshot plus
+// a baseline that WriteFile preserves across regenerations. The baseline is
+// updated only deliberately (by editing the file), never by rerunning the
+// suite.
+type File struct {
+	Baseline *Snapshot `json:"baseline,omitempty"`
+	Current  Snapshot  `json:"current"`
+}
+
+// suiteEntry names one benchmark of the hot-path suite.
+type suiteEntry struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// layerStep benchmarks a steady-state Forward+Backward step: the warm-up
+// outside the timer sizes the layer's workspaces so the measurement covers
+// only the hot path.
+func layerStep(b *testing.B, layer nn.Layer, x *tensor.Tensor) {
+	out := layer.Forward(x, true)
+	g := tensor.Randn(rand.New(rand.NewSource(92)), 0, 1, out.Shape()...)
+	layer.Backward(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer.Forward(x, true)
+		layer.Backward(g)
+	}
+}
+
+// suite lists the tracked benchmarks. Shapes mirror the scaled models' hot
+// layers; fig4_per_layer_protection is the end-to-end acceptance metric (one
+// quick-scale regeneration of the paper's Figure 4).
+var suite = []suiteEntry{
+	{"dense_step", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(91))
+		layerStep(b, nn.NewDense(256, 128, rng), tensor.Randn(rng, 0, 1, 32, 256))
+	}},
+	{"conv2d_step", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(91))
+		layerStep(b, nn.NewConv2D(8, 16, 3, 1, 1, rng), tensor.Randn(rng, 0, 1, 8, 8, 16, 16))
+	}},
+	{"conv1d_step", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(91))
+		layerStep(b, nn.NewConv1D(4, 8, 9, 4, 4, rng), tensor.Randn(rng, 0, 1, 8, 4, 256))
+	}},
+	{"batchnorm_step", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(91))
+		layerStep(b, nn.NewBatchNorm(16), tensor.Randn(rng, 0, 1, 8, 16, 16, 16))
+	}},
+	{"residual_step", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(91))
+		layerStep(b, nn.NewResidual(8, 16, 2, rng), tensor.Randn(rng, 0, 1, 4, 8, 16, 16))
+	}},
+	{"matmul", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(93))
+		a := tensor.Randn(rng, 0, 1, 256, 128)
+		bb := tensor.Randn(rng, 0, 1, 128, 64)
+		out := tensor.New(256, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tensor.MatMulInto(out, a, bb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"matmul_transb", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(93))
+		a := tensor.Randn(rng, 0, 1, 256, 128)
+		bt := tensor.Randn(rng, 0, 1, 64, 128)
+		out := tensor.New(256, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tensor.MatMulTransBInto(out, a, bt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"matmul_transa", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(93))
+		at := tensor.Randn(rng, 0, 1, 128, 256)
+		bb := tensor.Randn(rng, 0, 1, 128, 64)
+		out := tensor.New(256, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tensor.MatMulTransAInto(out, at, bb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"fig4_per_layer_protection", func(b *testing.B) {
+		o := experiment.QuickOptions()
+		o.UseShadowAttack = false
+		o.Records = 400
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.Fig4(ctx, o, "purchase100"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+}
+
+// RunHotPath executes the suite and returns the snapshot. logf, when
+// non-nil, receives one progress line per entry.
+func RunHotPath(logf func(format string, args ...any)) Snapshot {
+	results := make(map[string]Result, len(suite))
+	for _, e := range suite {
+		r := testing.Benchmark(e.fn)
+		res := Result{
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		results[e.name] = res
+		if logf != nil {
+			logf("%-28s %12d ns/op %12d B/op %8d allocs/op\n",
+				e.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		}
+	}
+	return Snapshot{GOMAXPROCS: runtime.GOMAXPROCS(0), Results: results}
+}
+
+// ReadFile loads a benchmark file; a missing file returns an empty File.
+func ReadFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return f, nil
+		}
+		return f, fmt.Errorf("bench: read %s: %w", path, err)
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// WriteFile records cur as the file's current snapshot, preserving the
+// baseline already recorded at path (if any).
+func WriteFile(path string, cur Snapshot) error {
+	f, err := ReadFile(path)
+	if err != nil {
+		return err
+	}
+	f.Current = cur
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/nn"
 	"repro/internal/optim"
 )
 
@@ -147,14 +148,22 @@ func NewSystem(cfg Config, def Defense) (*System, error) {
 	clients := make([]*Client, cfg.Clients)
 	var info ModelInfo
 	var initState []float64
+	var base *nn.Model
 	for i := range clients {
-		m, err := model.Build(spec, rand.New(rand.NewSource(cfg.Seed+2)))
-		if err != nil {
-			return nil, fmt.Errorf("fl: build model: %w", err)
-		}
+		// Every client starts from the same initial model (identical seed),
+		// so build it once and deep-clone for the rest: bit-identical
+		// parameters, unshared layer workspaces.
+		var m *nn.Model
 		if i == 0 {
+			m, err = model.Build(spec, rand.New(rand.NewSource(cfg.Seed+2)))
+			if err != nil {
+				return nil, fmt.Errorf("fl: build model: %w", err)
+			}
+			base = m
 			info = InfoOf(m)
 			initState = m.StateVector()
+		} else {
+			m = base.Clone()
 		}
 		opt := optim.New(cfg.Optimizer, cfg.LearningRate)
 		if opt == nil {

@@ -26,6 +26,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // ProtocolVersion is the wire protocol version carried in every Hello
@@ -85,14 +86,26 @@ type Message struct {
 // (128 MiB is far above any scaled model's state vector).
 const maxFrameBytes = 128 << 20
 
+// Frame buffers are pooled: state vectors make frames multi-megabyte, and
+// without pooling every round re-allocates them on both ends of every
+// connection. Pooled buffers keep their high-water capacity, so steady-state
+// rounds reuse the same backing arrays.
+var (
+	writeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	readBufPool  = sync.Pool{New: func() any { return new([]byte) }}
+)
+
 // WriteMessage encodes msg as a length-prefixed gob frame. The header and
 // payload go out in a single Write so a frame is never split across
 // syscalls (and fault injectors that act on whole writes see whole
 // frames).
 func WriteMessage(w io.Writer, msg *Message) error {
-	var buf bytes.Buffer
-	buf.Write(make([]byte, 4)) // header placeholder
-	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+	buf := writeBufPool.Get().(*bytes.Buffer)
+	defer writeBufPool.Put(buf)
+	buf.Reset()
+	var header [4]byte
+	buf.Write(header[:]) // placeholder, patched below
+	if err := gob.NewEncoder(buf).Encode(msg); err != nil {
 		return fmt.Errorf("flnet: encode %v: %w", msg.Kind, err)
 	}
 	frame := buf.Bytes()
@@ -103,7 +116,9 @@ func WriteMessage(w io.Writer, msg *Message) error {
 	return nil
 }
 
-// ReadMessage decodes one length-prefixed gob frame.
+// ReadMessage decodes one length-prefixed gob frame. The payload buffer is
+// pooled; gob decoding copies all data out of it, so the returned Message
+// never aliases pool memory.
 func ReadMessage(r io.Reader) (*Message, error) {
 	var header [4]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
@@ -113,7 +128,12 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	if n == 0 || n > maxFrameBytes {
 		return nil, fmt.Errorf("flnet: frame length %d out of range", n)
 	}
-	payload := make([]byte, n)
+	bp := readBufPool.Get().(*[]byte)
+	defer readBufPool.Put(bp)
+	if cap(*bp) < int(n) {
+		*bp = make([]byte, n)
+	}
+	payload := (*bp)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("flnet: read payload: %w", err)
 	}

@@ -151,3 +151,49 @@ func FuzzReadMessage(f *testing.F) {
 		}
 	})
 }
+
+// TestPooledBuffersBigThenSmall round-trips a large frame followed by many
+// small ones: the pooled write buffer and read payload keep their high-water
+// capacity, so any stale-tail or length-accounting bug in the pooling shows
+// up as corrupt small frames. It also checks decoded state never aliases the
+// pooled payload (messages must stay valid after the pool buffer is reused).
+func TestPooledBuffersBigThenSmall(t *testing.T) {
+	big := make([]float64, 100_000)
+	for i := range big {
+		big[i] = float64(i) * 0.5
+	}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Kind: KindGlobal, Round: 0, State: big}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		msg := &Message{Kind: KindUpdate, ClientID: i, Round: i, State: []float64{float64(i)}, NumSamples: i}
+		if err := WriteMessage(&buf, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	first, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.State) != len(big) {
+		t.Fatalf("big frame state length %d, want %d", len(first.State), len(big))
+	}
+	for i := 1; i <= 8; i++ {
+		msg, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("small frame %d after big: %v", i, err)
+		}
+		if msg.ClientID != i || msg.Round != i || msg.NumSamples != i ||
+			len(msg.State) != 1 || msg.State[0] != float64(i) {
+			t.Fatalf("small frame %d corrupted: %+v", i, *msg)
+		}
+	}
+	// The big message must have survived the pool reuse above untouched.
+	for i, v := range first.State {
+		if v != float64(i)*0.5 {
+			t.Fatalf("big state[%d] = %v after pool reuse, want %v", i, v, float64(i)*0.5)
+		}
+	}
+}

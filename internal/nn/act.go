@@ -6,9 +6,16 @@ import (
 	"repro/internal/tensor"
 )
 
+// Activation workspace slots (shared layout for ReLU and Tanh).
+const (
+	actSlotOut = iota
+	actSlotGradIn
+)
+
 // ReLU is the rectified-linear activation max(0, x).
 type ReLU struct {
 	mask []bool
+	ws   tensor.Workspace
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -19,10 +26,15 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Name implements Layer.
 func (r *ReLU) Name() string { return "relu" }
 
-// Forward implements Layer.
+// cloneLayer implements layer cloning with an unshared workspace.
+func (r *ReLU) cloneLayer() Layer { return NewReLU() }
+
+// Forward implements Layer. The returned tensor is a workspace buffer valid
+// until the next Forward on this layer.
 func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	out := x.Clone()
+	out := r.ws.GetLike(actSlotOut, x)
 	data := out.Data()
+	copy(data, x.Data())
 	if cap(r.mask) < len(data) {
 		r.mask = make([]bool, len(data))
 	}
@@ -38,10 +50,12 @@ func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned tensor is a workspace buffer valid
+// until the next Backward on this layer.
 func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	grad := gradOut.Clone()
+	grad := r.ws.GetLike(actSlotGradIn, gradOut)
 	data := grad.Data()
+	copy(data, gradOut.Data())
 	for i := range data {
 		if !r.mask[i] {
 			data[i] = 0
@@ -59,6 +73,7 @@ func (r *ReLU) Grads() []*tensor.Tensor { return nil }
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct {
 	lastOut *tensor.Tensor
+	ws      tensor.Workspace
 }
 
 var _ Layer = (*Tanh)(nil)
@@ -69,21 +84,28 @@ func NewTanh() *Tanh { return &Tanh{} }
 // Name implements Layer.
 func (t *Tanh) Name() string { return "tanh" }
 
-// Forward implements Layer.
+// cloneLayer implements layer cloning with an unshared workspace.
+func (t *Tanh) cloneLayer() Layer { return NewTanh() }
+
+// Forward implements Layer. The returned tensor is a workspace buffer valid
+// until the next Forward on this layer.
 func (t *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	out := x.Clone()
+	out := t.ws.GetLike(actSlotOut, x)
+	copy(out.Data(), x.Data())
 	out.Apply(math.Tanh)
 	t.lastOut = out
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned tensor is a workspace buffer valid
+// until the next Backward on this layer.
 func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if t.lastOut == nil {
 		panic("nn: tanh Backward before Forward")
 	}
-	grad := gradOut.Clone()
+	grad := t.ws.GetLike(actSlotGradIn, gradOut)
 	gd, od := grad.Data(), t.lastOut.Data()
+	copy(gd, gradOut.Data())
 	for i := range gd {
 		gd[i] *= 1 - od[i]*od[i]
 	}
@@ -110,9 +132,12 @@ func NewFlatten() *Flatten { return &Flatten{} }
 // Name implements Layer.
 func (f *Flatten) Name() string { return "flatten" }
 
+// cloneLayer implements layer cloning.
+func (f *Flatten) cloneLayer() Layer { return NewFlatten() }
+
 // Forward implements Layer.
 func (f *Flatten) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	f.lastShape = x.Shape()
+	f.lastShape = recordShape(f.lastShape, x)
 	batch := x.Dim(0)
 	return x.MustReshape(batch, x.Len()/batch)
 }

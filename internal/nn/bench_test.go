@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// benchLayerStep benchmarks one steady-state Forward+Backward step. The
+// warm-up call outside the timer sizes the layer workspaces, so the reported
+// allocs/op reflect the hot path only.
+func benchLayerStep(b *testing.B, layer Layer, x *tensor.Tensor) {
+	b.Helper()
+	out := layer.Forward(x, true)
+	g := tensor.Randn(rand.New(rand.NewSource(82)), 0, 1, out.Shape()...)
+	layer.Backward(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer.Forward(x, true)
+		layer.Backward(g)
+	}
+}
+
+func BenchmarkDenseStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(81))
+	layer := NewDense(256, 128, rng)
+	benchLayerStep(b, layer, tensor.Randn(rng, 0, 1, 32, 256))
+}
+
+func BenchmarkConv2DStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(81))
+	layer := NewConv2D(8, 16, 3, 1, 1, rng)
+	benchLayerStep(b, layer, tensor.Randn(rng, 0, 1, 8, 8, 16, 16))
+}
+
+func BenchmarkConv1DStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(81))
+	layer := NewConv1D(4, 8, 9, 4, 4, rng)
+	benchLayerStep(b, layer, tensor.Randn(rng, 0, 1, 8, 4, 256))
+}
+
+func BenchmarkBatchNormStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(81))
+	layer := NewBatchNorm(16)
+	benchLayerStep(b, layer, tensor.Randn(rng, 0, 1, 8, 16, 16, 16))
+}
+
+func BenchmarkResidualStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(81))
+	layer := NewResidual(8, 16, 2, rng)
+	benchLayerStep(b, layer, tensor.Randn(rng, 0, 1, 4, 8, 16, 16))
+}
+
+func BenchmarkModelStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(81))
+	m := NewModel(
+		NewConv2D(3, 8, 3, 1, 1, rng),
+		NewBatchNorm(8),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewFlatten(),
+		NewDense(8*8*8, 10, rng),
+	)
+	x := tensor.Randn(rng, 0, 1, 16, 3, 16, 16)
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	var loss SoftmaxCrossEntropy
+
+	out := m.Forward(x, true)
+	res, err := loss.Eval(out, labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Backward(res.Grad)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := m.Forward(x, true)
+		res, err := loss.Eval(out, labels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Backward(res.Grad)
+	}
+}

@@ -10,6 +10,9 @@ import (
 
 // Conv1D is a 1-D convolution over [B, C, L] inputs (used by the M18 audio
 // model). Weights have shape [OutC, InC, K].
+//
+// Output and input-gradient tensors live in a grow-only per-layer workspace,
+// so a steady-state training step performs no allocations.
 type Conv1D struct {
 	InC, OutC   int
 	K           int
@@ -19,7 +22,14 @@ type Conv1D struct {
 	gw, gb *tensor.Tensor
 
 	lastX *tensor.Tensor
+	ws    tensor.Workspace
 }
+
+// Conv1D workspace slots.
+const (
+	conv1dSlotOut = iota
+	conv1dSlotGradIn
+)
 
 var (
 	_ Layer       = (*Conv1D)(nil)
@@ -62,6 +72,21 @@ func (c *Conv1D) ResetParams(rng *rand.Rand) {
 	c.b.Zero()
 }
 
+// cloneLayer implements layer cloning with an unshared workspace.
+func (c *Conv1D) cloneLayer() Layer {
+	return &Conv1D{
+		InC:    c.InC,
+		OutC:   c.OutC,
+		K:      c.K,
+		Stride: c.Stride,
+		Pad:    c.Pad,
+		w:      c.w.Clone(),
+		b:      c.b.Clone(),
+		gw:     c.gw.Clone(),
+		gb:     c.gb.Clone(),
+	}
+}
+
 // OutLen returns the output length for an input of length l.
 func (c *Conv1D) OutLen(l int) int { return (l+2*c.Pad-c.K)/c.Stride + 1 }
 
@@ -76,7 +101,7 @@ func (c *Conv1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s output length %d for input %v", c.Name(), ol, x.Shape()))
 	}
 	c.lastX = x
-	out := tensor.New(batch, c.OutC, ol)
+	out := c.ws.Get3D(conv1dSlotOut, batch, c.OutC, ol)
 	xd, od, wd, bd := x.Data(), out.Data(), c.w.Data(), c.b.Data()
 	for bi := 0; bi < batch; bi++ {
 		for oc := 0; oc < c.OutC; oc++ {
@@ -111,7 +136,8 @@ func (c *Conv1D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	ol := gradOut.Dim(2)
 	c.gw.Zero()
 	c.gb.Zero()
-	gradIn := tensor.New(batch, c.InC, l)
+	gradIn := c.ws.Get3D(conv1dSlotGradIn, batch, c.InC, l)
+	gradIn.Zero() // the scatter below accumulates
 	xd, gd := c.lastX.Data(), gradOut.Data()
 	gid, gwd, gbd, wd := gradIn.Data(), c.gw.Data(), c.gb.Data(), c.w.Data()
 	for bi := 0; bi < batch; bi++ {

@@ -4,12 +4,20 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/tensor"
 )
 
 // Conv2D is a 2-D convolution over [B, C, H, W] inputs, implemented with
 // im2col + matrix multiplication. Weights have shape [OutC, InC, KH, KW].
+//
+// The matmuls run transpose-free against cached 2-D views of the weight and
+// weight-gradient tensors, and every per-step temporary (the im2col column
+// matrix, the permute staging buffers, the gradient buffers) lives in a
+// grow-only per-layer workspace, so a steady-state training step performs no
+// allocations. im2col/col2im parallelize over the batch dimension.
 type Conv2D struct {
 	InC, OutC   int
 	KH, KW      int
@@ -18,9 +26,24 @@ type Conv2D struct {
 	w, b   *tensor.Tensor
 	gw, gb *tensor.Tensor
 
-	lastCol   *tensor.Tensor
-	lastShape []int // input shape of the last Forward
+	// wMat and gwMat are fixed 2-D [OutC, InC*KH*KW] views sharing w's and
+	// gw's storage, built once so the hot path never re-reshapes.
+	wMat, gwMat *tensor.Tensor
+
+	lastCol             *tensor.Tensor
+	lastB, lastH, lastW int // input geometry of the last Forward
+	ws                  tensor.Workspace
 }
+
+// Conv2D workspace slots.
+const (
+	convSlotCol = iota
+	convSlotOut2D
+	convSlotOut
+	convSlotG2D
+	convSlotGradCol
+	convSlotGradIn
+)
 
 var (
 	_ Layer       = (*Conv2D)(nil)
@@ -41,6 +64,8 @@ func NewConv2D(inC, outC, k, stride, pad int, rng *rand.Rand) *Conv2D {
 		gw:     tensor.New(outC, inC, k, k),
 		gb:     tensor.New(outC),
 	}
+	c.wMat = c.w.MustReshape(outC, inC*k*k)
+	c.gwMat = c.gw.MustReshape(outC, inC*k*k)
 	c.ResetParams(rng)
 	return c
 }
@@ -65,6 +90,25 @@ func (c *Conv2D) ResetParams(rng *rand.Rand) {
 	c.b.Zero()
 }
 
+// cloneLayer implements layer cloning with an unshared workspace.
+func (c *Conv2D) cloneLayer() Layer {
+	n := &Conv2D{
+		InC:    c.InC,
+		OutC:   c.OutC,
+		KH:     c.KH,
+		KW:     c.KW,
+		Stride: c.Stride,
+		Pad:    c.Pad,
+		w:      c.w.Clone(),
+		b:      c.b.Clone(),
+		gw:     c.gw.Clone(),
+		gb:     c.gb.Clone(),
+	}
+	n.wMat = n.w.MustReshape(n.OutC, n.InC*n.KH*n.KW)
+	n.gwMat = n.gw.MustReshape(n.OutC, n.InC*n.KH*n.KW)
+	return n
+}
+
 // OutSize returns the spatial output size for an input of size h×w.
 func (c *Conv2D) OutSize(h, w int) (int, int) {
 	oh := (h+2*c.Pad-c.KH)/c.Stride + 1
@@ -72,7 +116,8 @@ func (c *Conv2D) OutSize(h, w int) (int, int) {
 	return oh, ow
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned tensor is a workspace buffer valid
+// until the next Forward on this layer.
 func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Dims() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: %s got input %v", c.Name(), x.Shape()))
@@ -82,21 +127,19 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn: %s output size %dx%d for input %v", c.Name(), oh, ow, x.Shape()))
 	}
-	col := im2col(x, c.KH, c.KW, c.Stride, c.Pad, oh, ow)
+	colWidth := c.InC * c.KH * c.KW
+	col := c.ws.Get2D(convSlotCol, batch*oh*ow, colWidth)
+	im2colInto(col, x, c.KH, c.KW, c.Stride, c.Pad, oh, ow)
 	c.lastCol = col
-	c.lastShape = x.Shape()
+	c.lastB, c.lastH, c.lastW = batch, h, w
 
-	wmat := c.w.MustReshape(c.OutC, c.InC*c.KH*c.KW)
-	wt, err := tensor.Transpose2D(wmat)
-	if err != nil {
-		panic(err)
-	}
-	out2d, err := tensor.MatMul(col, wt) // [B*oh*ow, OutC]
-	if err != nil {
+	// out2d = col × Wmatᵀ => [B*oh*ow, OutC], without materializing Wmatᵀ.
+	out2d := c.ws.Get2D(convSlotOut2D, batch*oh*ow, c.OutC)
+	if err := tensor.MatMulTransBInto(out2d, col, c.wMat); err != nil {
 		panic(err)
 	}
 	// Add bias and permute [B*oh*ow, OutC] -> [B, OutC, oh, ow].
-	out := tensor.New(batch, c.OutC, oh, ow)
+	out := c.ws.Get4D(convSlotOut, batch, c.OutC, oh, ow)
 	o2, od, bd := out2d.Data(), out.Data(), c.b.Data()
 	spatial := oh * ow
 	for bi := 0; bi < batch; bi++ {
@@ -110,7 +153,8 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned tensor is a workspace buffer valid
+// until the next Backward on this layer.
 func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if c.lastCol == nil {
 		panic("nn: conv2d Backward before Forward")
@@ -118,7 +162,7 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	batch, oh, ow := gradOut.Dim(0), gradOut.Dim(2), gradOut.Dim(3)
 	spatial := oh * ow
 	// Permute gradOut [B, OutC, oh, ow] -> [B*oh*ow, OutC].
-	g2d := tensor.New(batch*spatial, c.OutC)
+	g2d := c.ws.Get2D(convSlotG2D, batch*spatial, c.OutC)
 	gd, g2 := gradOut.Data(), g2d.Data()
 	for bi := 0; bi < batch; bi++ {
 		for oc := 0; oc < c.OutC; oc++ {
@@ -137,22 +181,20 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			gbd[oc] += v
 		}
 	}
-	// gw = g2dᵀ × col  => [OutC, InC*KH*KW]
-	g2t, err := tensor.Transpose2D(g2d)
-	if err != nil {
-		panic(err)
-	}
-	gwMat := c.gw.MustReshape(c.OutC, c.InC*c.KH*c.KW)
-	if err := tensor.MatMulInto(gwMat, g2t, c.lastCol); err != nil {
+	// gw = g2dᵀ × col => [OutC, InC*KH*KW], without materializing g2dᵀ.
+	if err := tensor.MatMulTransAInto(c.gwMat, g2d, c.lastCol); err != nil {
 		panic(err)
 	}
 	// gradCol = g2d × Wmat => [B*oh*ow, InC*KH*KW]
-	wmat := c.w.MustReshape(c.OutC, c.InC*c.KH*c.KW)
-	gradCol, err := tensor.MatMul(g2d, wmat)
-	if err != nil {
+	colWidth := c.InC * c.KH * c.KW
+	gradCol := c.ws.Get2D(convSlotGradCol, batch*spatial, colWidth)
+	if err := tensor.MatMulInto(gradCol, g2d, c.wMat); err != nil {
 		panic(err)
 	}
-	return col2im(gradCol, c.lastShape, c.KH, c.KW, c.Stride, c.Pad, oh, ow)
+	gradIn := c.ws.Get4D(convSlotGradIn, c.lastB, c.InC, c.lastH, c.lastW)
+	gradIn.Zero()
+	col2imInto(gradIn, gradCol, c.KH, c.KW, c.Stride, c.Pad, oh, ow)
+	return gradIn
 }
 
 // Params implements Layer.
@@ -161,14 +203,52 @@ func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.w, c.b} }
 // Grads implements Layer.
 func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gw, c.gb} }
 
-// im2col unrolls convolution windows of x [B, C, H, W] into a matrix of shape
-// [B*oh*ow, C*kh*kw]; out-of-bounds (padding) positions contribute zeros.
-func im2col(x *tensor.Tensor, kh, kw, stride, pad, oh, ow int) *tensor.Tensor {
-	batch, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+// batchWorkThreshold is the minimum per-call element work below which the
+// im2col/col2im loops stay single-threaded (same scale as the matmul
+// threshold).
+const batchWorkThreshold = 1 << 16
+
+// batchWorkers returns how many goroutines to fan a batch loop across, or 1
+// for the serial path. The serial decision is taken before any closure is
+// built so small steady-state steps stay allocation-free.
+func batchWorkers(batch, totalWork int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if batch <= 1 || workers <= 1 || totalWork < batchWorkThreshold {
+		return 1
+	}
+	return min(workers, batch)
+}
+
+// im2colInto unrolls convolution windows of x [B, C, H, W] into col, a matrix
+// of shape [B*oh*ow, C*kh*kw]. Every element of col is written (padding
+// positions are explicitly zeroed), so col may hold stale workspace data on
+// entry. Batch items are independent rows, so the loop fans out over the
+// batch dimension when the volume justifies it.
+func im2colInto(col, x *tensor.Tensor, kh, kw, stride, pad, oh, ow int) {
+	batch := x.Dim(0)
+	if workers := batchWorkers(batch, col.Len()); workers > 1 {
+		per := (batch + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < batch; lo += per {
+			hi := min(lo+per, batch)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				im2colRange(col, x, lo, hi, kh, kw, stride, pad, oh, ow)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	im2colRange(col, x, 0, batch, kh, kw, stride, pad, oh, ow)
+}
+
+// im2colRange unrolls batch items [b0,b1).
+func im2colRange(col, x *tensor.Tensor, b0, b1, kh, kw, stride, pad, oh, ow int) {
+	ch, h, w := x.Dim(1), x.Dim(2), x.Dim(3)
 	colWidth := ch * kh * kw
-	col := tensor.New(batch*oh*ow, colWidth)
 	xd, cd := x.Data(), col.Data()
-	for bi := 0; bi < batch; bi++ {
+	for bi := b0; bi < b1; bi++ {
 		for oy := 0; oy < oh; oy++ {
 			iy0 := oy*stride - pad
 			for ox := 0; ox < ow; ox++ {
@@ -178,34 +258,59 @@ func im2col(x *tensor.Tensor, kh, kw, stride, pad, oh, ow int) *tensor.Tensor {
 					chanOff := (bi*ch + c) * h * w
 					for ky := 0; ky < kh; ky++ {
 						iy := iy0 + ky
-						dst := rowOff + (c*kh+ky)*kw
+						dst := cd[rowOff+(c*kh+ky)*kw : rowOff+(c*kh+ky)*kw+kw]
 						if iy < 0 || iy >= h {
-							continue // zeros already present
+							for kx := range dst {
+								dst[kx] = 0
+							}
+							continue
 						}
 						srcRow := chanOff + iy*w
-						for kx := 0; kx < kw; kx++ {
+						for kx := range dst {
 							ix := ix0 + kx
 							if ix < 0 || ix >= w {
+								dst[kx] = 0
 								continue
 							}
-							cd[dst+kx] = xd[srcRow+ix]
+							dst[kx] = xd[srcRow+ix]
 						}
 					}
 				}
 			}
 		}
 	}
-	return col
 }
 
-// col2im scatters a column matrix back into an image tensor of inShape,
-// accumulating overlapping contributions. It is the adjoint of im2col.
-func col2im(col *tensor.Tensor, inShape []int, kh, kw, stride, pad, oh, ow int) *tensor.Tensor {
-	batch, ch, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
+// col2imInto scatters a column matrix back into out (shape [B, C, H, W]),
+// accumulating overlapping contributions. It is the adjoint of im2col; out
+// must be zeroed by the caller. Batch items scatter into disjoint regions of
+// out, so the loop fans out over the batch dimension when the volume
+// justifies it.
+func col2imInto(out, col *tensor.Tensor, kh, kw, stride, pad, oh, ow int) {
+	batch := out.Dim(0)
+	if workers := batchWorkers(batch, col.Len()); workers > 1 {
+		per := (batch + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < batch; lo += per {
+			hi := min(lo+per, batch)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				col2imRange(out, col, lo, hi, kh, kw, stride, pad, oh, ow)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	col2imRange(out, col, 0, batch, kh, kw, stride, pad, oh, ow)
+}
+
+// col2imRange scatters batch items [b0,b1).
+func col2imRange(out, col *tensor.Tensor, b0, b1, kh, kw, stride, pad, oh, ow int) {
+	ch, h, w := out.Dim(1), out.Dim(2), out.Dim(3)
 	colWidth := ch * kh * kw
-	out := tensor.New(batch, ch, h, w)
 	cd, od := col.Data(), out.Data()
-	for bi := 0; bi < batch; bi++ {
+	for bi := b0; bi < b1; bi++ {
 		for oy := 0; oy < oh; oy++ {
 			iy0 := oy*stride - pad
 			for ox := 0; ox < ow; ox++ {
@@ -232,5 +337,4 @@ func col2im(col *tensor.Tensor, inShape []int, kh, kw, stride, pad, oh, ow int) 
 			}
 		}
 	}
-	return out
 }

@@ -9,6 +9,10 @@ import (
 )
 
 // Dense is a fully connected layer: y = xWᵀ + b with W of shape [out, in].
+//
+// The forward and backward passes are transpose-free (MatMulTransB /
+// MatMulTransA against W directly) and write into per-layer workspace
+// tensors, so a steady-state training step performs no allocations.
 type Dense struct {
 	In, Out int
 
@@ -16,7 +20,14 @@ type Dense struct {
 	gw, gb *tensor.Tensor
 
 	lastX *tensor.Tensor
+	ws    tensor.Workspace
 }
+
+// Dense workspace slots.
+const (
+	denseSlotOut = iota
+	denseSlotGradIn
+)
 
 var (
 	_ Layer       = (*Dense)(nil)
@@ -52,19 +63,30 @@ func (d *Dense) ResetParams(rng *rand.Rand) {
 	d.b.Zero()
 }
 
-// Forward implements Layer. x has shape [B, In].
+// cloneLayer implements layer cloning: parameters are deep-copied, the
+// workspace starts fresh so the clone never aliases this layer's scratch.
+func (d *Dense) cloneLayer() Layer {
+	return &Dense{
+		In:  d.In,
+		Out: d.Out,
+		w:   d.w.Clone(),
+		b:   d.b.Clone(),
+		gw:  d.gw.Clone(),
+		gb:  d.gb.Clone(),
+	}
+}
+
+// Forward implements Layer. x has shape [B, In]. The returned tensor is a
+// workspace buffer valid until the next Forward on this layer.
 func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Dims() != 2 || x.Dim(1) != d.In {
 		panic(fmt.Sprintf("nn: dense %s got input %v", d.Name(), x.Shape()))
 	}
 	d.lastX = x
 	batch := x.Dim(0)
-	wt, err := tensor.Transpose2D(d.w)
-	if err != nil {
-		panic(err)
-	}
-	out, err := tensor.MatMul(x, wt)
-	if err != nil {
+	// out = x × Wᵀ, without materializing Wᵀ.
+	out := d.ws.Get2D(denseSlotOut, batch, d.Out)
+	if err := tensor.MatMulTransBInto(out, x, d.w); err != nil {
 		panic(err)
 	}
 	od, bd := out.Data(), d.b.Data()
@@ -77,18 +99,15 @@ func (d *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned tensor is a workspace buffer valid
+// until the next Backward on this layer.
 func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if d.lastX == nil {
 		panic("nn: dense Backward before Forward")
 	}
 	batch := gradOut.Dim(0)
-	// gw = gradOutᵀ × x  => [Out, In]
-	gt, err := tensor.Transpose2D(gradOut)
-	if err != nil {
-		panic(err)
-	}
-	if err := tensor.MatMulInto(d.gw, gt, d.lastX); err != nil {
+	// gw = gradOutᵀ × x => [Out, In], without materializing gradOutᵀ.
+	if err := tensor.MatMulTransAInto(d.gw, gradOut, d.lastX); err != nil {
 		panic(err)
 	}
 	// gb = column sums of gradOut.
@@ -101,8 +120,8 @@ func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// gradIn = gradOut × W => [B, In]
-	gradIn, err := tensor.MatMul(gradOut, d.w)
-	if err != nil {
+	gradIn := d.ws.Get2D(denseSlotGradIn, batch, d.In)
+	if err := tensor.MatMulInto(gradIn, gradOut, d.w); err != nil {
 		panic(err)
 	}
 	return gradIn

@@ -34,6 +34,12 @@ import (
 // returns the gradient with respect to the layer input, accumulating
 // parameter gradients internally. A Backward call must be preceded by a
 // Forward call on the same data.
+//
+// Tensors returned by Forward and Backward are per-layer workspace buffers:
+// a Forward result is valid until the layer's next Forward, a Backward
+// result until its next Backward. Callers that need a result to outlive the
+// next pass must Clone it. Layers are consequently not safe for concurrent
+// use; concurrent training loops must operate on separate Model clones.
 type Layer interface {
 	// Name returns a short human-readable identifier, e.g. "dense(64->10)".
 	Name() string
@@ -69,4 +75,27 @@ func numel(ts []*tensor.Tensor) int {
 		n += t.Len()
 	}
 	return n
+}
+
+// cloneable is implemented by every layer in this package. cloneLayer returns
+// a deep copy: parameters, gradients, and running statistics are copied;
+// forward caches and workspaces start fresh so clones never share scratch
+// memory with the original.
+type cloneable interface {
+	cloneLayer() Layer
+}
+
+// recordShape copies x's shape into dst, growing dst only when its capacity
+// is too small. It lets layers remember input shapes across steps without
+// the per-call allocation of Tensor.Shape.
+func recordShape(dst []int, x *tensor.Tensor) []int {
+	d := x.Dims()
+	if cap(dst) < d {
+		dst = make([]int, d)
+	}
+	dst = dst[:d]
+	for i := range dst {
+		dst[i] = x.Dim(i)
+	}
+	return dst
 }

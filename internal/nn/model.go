@@ -121,6 +121,21 @@ func (m *Model) buildSpans() {
 	}
 }
 
+// Clone returns a deep copy of the model: parameters, gradients, and
+// normalization running statistics are copied; layer workspaces and forward
+// caches start fresh, so the clone can train concurrently with the original.
+func (m *Model) Clone() *Model {
+	layers := make([]Layer, len(m.layers))
+	for i, l := range m.layers {
+		c, ok := l.(cloneable)
+		if !ok {
+			panic(fmt.Sprintf("nn: layer %s does not support cloning", l.Name()))
+		}
+		layers[i] = c.cloneLayer()
+	}
+	return NewModel(layers...)
+}
+
 // Layers returns the model's top-level layers.
 func (m *Model) Layers() []Layer { return m.layers }
 

@@ -27,7 +27,16 @@ type BatchNorm struct {
 	lastShape []int
 	xhat      []float64
 	invStd    []float64
+	meanBuf   []float64
+	varBuf    []float64
+	ws        tensor.Workspace
 }
+
+// BatchNorm workspace slots.
+const (
+	bnSlotOut = iota
+	bnSlotGradIn
+)
 
 var (
 	_ Layer       = (*BatchNorm)(nil)
@@ -73,18 +82,38 @@ func (b *BatchNorm) RunningStats() (mean, variance *tensor.Tensor) {
 	return b.runMean, b.runVar
 }
 
+// cloneLayer implements layer cloning: parameters and running statistics are
+// deep-copied, caches and workspace start fresh.
+func (b *BatchNorm) cloneLayer() Layer {
+	return &BatchNorm{
+		C:        b.C,
+		Eps:      b.Eps,
+		Momentum: b.Momentum,
+		gamma:    b.gamma.Clone(),
+		beta:     b.beta.Clone(),
+		gGamma:   b.gGamma.Clone(),
+		gBeta:    b.gBeta.Clone(),
+		runMean:  b.runMean.Clone(),
+		runVar:   b.runVar.Clone(),
+	}
+}
+
 // Forward implements Layer.
 func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Dims() < 2 || x.Dim(1) != b.C {
 		panic(fmt.Sprintf("nn: %s got input %v", b.Name(), x.Shape()))
 	}
-	b.lastShape = x.Shape()
+	b.lastShape = recordShape(b.lastShape, x)
 	batch := x.Dim(0)
 	spatial := x.Len() / (batch * b.C)
 	n := batch * spatial
 
-	mean := make([]float64, b.C)
-	variance := make([]float64, b.C)
+	if cap(b.meanBuf) < b.C {
+		b.meanBuf = make([]float64, b.C)
+		b.varBuf = make([]float64, b.C)
+	}
+	mean := b.meanBuf[:b.C]
+	variance := b.varBuf[:b.C]
 	xd := x.Data()
 	if train {
 		for c := 0; c < b.C; c++ {
@@ -136,7 +165,7 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		b.invStd[c] = 1 / math.Sqrt(v+b.Eps)
 	}
 
-	out := tensor.New(b.lastShape...)
+	out := b.ws.Get(bnSlotOut, b.lastShape...)
 	od, gd, bd := out.Data(), b.gamma.Data(), b.beta.Data()
 	for bi := 0; bi < batch; bi++ {
 		for c := 0; c < b.C; c++ {
@@ -177,7 +206,7 @@ func (b *BatchNorm) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 
-	gradIn := tensor.New(b.lastShape...)
+	gradIn := b.ws.Get(bnSlotGradIn, b.lastShape...)
 	gid, gmd := gradIn.Data(), b.gamma.Data()
 	for bi := 0; bi < batch; bi++ {
 		for c := 0; c < b.C; c++ {

@@ -6,6 +6,12 @@ import (
 	"repro/internal/tensor"
 )
 
+// Pooling workspace slots (shared layout across the pooling layers).
+const (
+	poolSlotOut = iota
+	poolSlotGradIn
+)
+
 // MaxPool2D is a 2-D max pooling layer over [B, C, H, W] inputs with a square
 // window and equal stride (the common VGG configuration).
 type MaxPool2D struct {
@@ -13,6 +19,7 @@ type MaxPool2D struct {
 
 	argmax    []int
 	lastShape []int
+	ws        tensor.Workspace
 }
 
 var _ Layer = (*MaxPool2D)(nil)
@@ -22,6 +29,9 @@ func NewMaxPool2D(k int) *MaxPool2D { return &MaxPool2D{K: k, Stride: k} }
 
 // Name implements Layer.
 func (p *MaxPool2D) Name() string { return fmt.Sprintf("maxpool2d(%d)", p.K) }
+
+// cloneLayer implements layer cloning with an unshared workspace.
+func (p *MaxPool2D) cloneLayer() Layer { return &MaxPool2D{K: p.K, Stride: p.Stride} }
 
 // Forward implements Layer.
 func (p *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
@@ -33,8 +43,8 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if oh == 0 || ow == 0 {
 		panic(fmt.Sprintf("nn: %s output empty for input %v", p.Name(), x.Shape()))
 	}
-	p.lastShape = x.Shape()
-	out := tensor.New(batch, ch, oh, ow)
+	p.lastShape = recordShape(p.lastShape, x)
+	out := p.ws.Get4D(poolSlotOut, batch, ch, oh, ow)
 	n := out.Len()
 	if cap(p.argmax) < n {
 		p.argmax = make([]int, n)
@@ -73,7 +83,8 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (p *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.New(p.lastShape...)
+	gradIn := p.ws.Get(poolSlotGradIn, p.lastShape...)
+	gradIn.Zero() // the argmax scatter below accumulates
 	gid, god := gradIn.Data(), gradOut.Data()
 	for i, v := range god {
 		gid[p.argmax[i]] += v
@@ -93,6 +104,7 @@ type MaxPool1D struct {
 
 	argmax    []int
 	lastShape []int
+	ws        tensor.Workspace
 }
 
 var _ Layer = (*MaxPool1D)(nil)
@@ -102,6 +114,9 @@ func NewMaxPool1D(k int) *MaxPool1D { return &MaxPool1D{K: k, Stride: k} }
 
 // Name implements Layer.
 func (p *MaxPool1D) Name() string { return fmt.Sprintf("maxpool1d(%d)", p.K) }
+
+// cloneLayer implements layer cloning with an unshared workspace.
+func (p *MaxPool1D) cloneLayer() Layer { return &MaxPool1D{K: p.K, Stride: p.Stride} }
 
 // Forward implements Layer.
 func (p *MaxPool1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
@@ -113,8 +128,8 @@ func (p *MaxPool1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if ol == 0 {
 		panic(fmt.Sprintf("nn: %s output empty for input %v", p.Name(), x.Shape()))
 	}
-	p.lastShape = x.Shape()
-	out := tensor.New(batch, ch, ol)
+	p.lastShape = recordShape(p.lastShape, x)
+	out := p.ws.Get3D(poolSlotOut, batch, ch, ol)
 	n := out.Len()
 	if cap(p.argmax) < n {
 		p.argmax = make([]int, n)
@@ -145,7 +160,8 @@ func (p *MaxPool1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (p *MaxPool1D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.New(p.lastShape...)
+	gradIn := p.ws.Get(poolSlotGradIn, p.lastShape...)
+	gradIn.Zero() // the argmax scatter below accumulates
 	gid, god := gradIn.Data(), gradOut.Data()
 	for i, v := range god {
 		gid[p.argmax[i]] += v
@@ -163,6 +179,7 @@ func (p *MaxPool1D) Grads() []*tensor.Tensor { return nil }
 // [B, C]. It works for both 2-D (4-D tensors) and 1-D (3-D tensors) inputs.
 type GlobalAvgPool struct {
 	lastShape []int
+	ws        tensor.Workspace
 }
 
 var _ Layer = (*GlobalAvgPool)(nil)
@@ -173,6 +190,9 @@ func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
 // Name implements Layer.
 func (p *GlobalAvgPool) Name() string { return "globalavgpool" }
 
+// cloneLayer implements layer cloning with an unshared workspace.
+func (p *GlobalAvgPool) cloneLayer() Layer { return NewGlobalAvgPool() }
+
 // Forward implements Layer.
 func (p *GlobalAvgPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Dims() < 3 {
@@ -180,8 +200,8 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	}
 	batch, ch := x.Dim(0), x.Dim(1)
 	spatial := x.Len() / (batch * ch)
-	p.lastShape = x.Shape()
-	out := tensor.New(batch, ch)
+	p.lastShape = recordShape(p.lastShape, x)
+	out := p.ws.Get2D(poolSlotOut, batch, ch)
 	xd, od := x.Data(), out.Data()
 	inv := 1.0 / float64(spatial)
 	for bc := 0; bc < batch*ch; bc++ {
@@ -196,7 +216,7 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (p *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.New(p.lastShape...)
+	gradIn := p.ws.Get(poolSlotGradIn, p.lastShape...)
 	batch, ch := p.lastShape[0], p.lastShape[1]
 	spatial := gradIn.Len() / (batch * ch)
 	gid, god := gradIn.Data(), gradOut.Data()
@@ -223,6 +243,7 @@ type AvgPool2D struct {
 	K int
 
 	lastShape []int
+	ws        tensor.Workspace
 }
 
 var _ Layer = (*AvgPool2D)(nil)
@@ -233,6 +254,9 @@ func NewAvgPool2D(k int) *AvgPool2D { return &AvgPool2D{K: k} }
 // Name implements Layer.
 func (p *AvgPool2D) Name() string { return fmt.Sprintf("avgpool2d(%d)", p.K) }
 
+// cloneLayer implements layer cloning with an unshared workspace.
+func (p *AvgPool2D) cloneLayer() Layer { return &AvgPool2D{K: p.K} }
+
 // Forward implements Layer.
 func (p *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Dims() != 4 {
@@ -240,8 +264,8 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	}
 	batch, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh, ow := h/p.K, w/p.K
-	p.lastShape = x.Shape()
-	out := tensor.New(batch, ch, oh, ow)
+	p.lastShape = recordShape(p.lastShape, x)
+	out := p.ws.Get4D(poolSlotOut, batch, ch, oh, ow)
 	xd, od := x.Data(), out.Data()
 	inv := 1.0 / float64(p.K*p.K)
 	for bc := 0; bc < batch*ch; bc++ {
@@ -263,7 +287,8 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (p *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.New(p.lastShape...)
+	gradIn := p.ws.Get(poolSlotGradIn, p.lastShape...)
+	gradIn.Zero() // the window scatter below accumulates
 	batch, ch, h, w := p.lastShape[0], p.lastShape[1], p.lastShape[2], p.lastShape[3]
 	oh, ow := h/p.K, w/p.K
 	gid, god := gradIn.Data(), gradOut.Data()

@@ -63,6 +63,24 @@ func (r *Residual) Name() string {
 	return fmt.Sprintf("residual(%d->%d,s%d)", r.conv1.InC, r.conv1.OutC, r.conv1.Stride)
 }
 
+// cloneLayer implements layer cloning: every sub-layer is cloned, preserving
+// the identity-vs-projection shortcut configuration.
+func (r *Residual) cloneLayer() Layer {
+	c := &Residual{
+		conv1:   r.conv1.cloneLayer().(*Conv2D),
+		bn1:     r.bn1.cloneLayer().(*BatchNorm),
+		relu1:   NewReLU(),
+		conv2:   r.conv2.cloneLayer().(*Conv2D),
+		bn2:     r.bn2.cloneLayer().(*BatchNorm),
+		outRelu: NewReLU(),
+	}
+	if r.projConv != nil {
+		c.projConv = r.projConv.cloneLayer().(*Conv2D)
+		c.projBN = r.projBN.cloneLayer().(*BatchNorm)
+	}
+	return c
+}
+
 // SkipWrapped implements SkipWrapped: the block's sub-layers are bypassed by
 // the shortcut, so obfuscating any single one of them leaves the model
 // functional.

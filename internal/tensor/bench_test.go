@@ -1,0 +1,81 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmark shapes match the scaled models' hot matmuls: [B*oh*ow, C*k*k] ×
+// [OutC, C*k*k]ᵀ style products.
+func benchPair(m, k, n int) (a, b, bt, at, out *Tensor) {
+	rng := rand.New(rand.NewSource(71))
+	a = Randn(rng, 0, 1, m, k)
+	b = Randn(rng, 0, 1, k, n)
+	bt = Randn(rng, 0, 1, n, k)
+	at = Randn(rng, 0, 1, k, m)
+	out = New(m, n)
+	return
+}
+
+func BenchmarkMatMulInto(bb *testing.B) {
+	a, b, _, _, out := benchPair(256, 128, 64)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		if err := MatMulInto(out, a, b); err != nil {
+			bb.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatMulTransposeThen is the pre-optimization formulation: transpose
+// the second operand, then multiply. Kept as the comparison baseline for
+// BenchmarkMatMulTransBInto.
+func BenchmarkMatMulTransposeThen(bb *testing.B) {
+	a, _, bt, _, out := benchPair(256, 128, 64)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		btt, err := Transpose2D(bt)
+		if err != nil {
+			bb.Fatal(err)
+		}
+		if err := MatMulInto(out, a, btt); err != nil {
+			bb.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulTransBInto(bb *testing.B) {
+	a, _, bt, _, out := benchPair(256, 128, 64)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		if err := MatMulTransBInto(out, a, bt); err != nil {
+			bb.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulTransAInto(bb *testing.B) {
+	_, b, _, at, out := benchPair(256, 128, 64)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		if err := MatMulTransAInto(out, at, b); err != nil {
+			bb.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTranspose2D(bb *testing.B) {
+	rng := rand.New(rand.NewSource(72))
+	a := Randn(rng, 0, 1, 512, 512)
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		if _, err := Transpose2D(a); err != nil {
+			bb.Fatal(err)
+		}
+	}
+}
