@@ -7,16 +7,22 @@
 #                     poisoning suite, networked quarantine) under -race
 #   make alloc      - allocation-regression guard: the training hot path
 #                     must stay zero-allocation in steady state
+#   make parallel   - compute-pool guards: pool invariants plus the
+#                     serial-vs-parallel bit-identity property tests,
+#                     under -race
 #   make check      - everything above
 #   make fuzz       - short fuzz pass over the wire-protocol decoder and
 #                     the update screen
 #   make bench      - kernel + per-layer hot-path microbenchmarks
 #   make bench-json - rerun the tracked hot-path suite, updating
 #                     BENCH_hotpath.json (baseline section is preserved)
+#   make bench-scaling - GOMAXPROCS sweep: ns/op, speedup, and scaling
+#                     efficiency per CPU count, recorded in the same file;
+#                     fails if any parallel path diverges from serial
 
 GO ?= go
 
-.PHONY: verify vet race adversary alloc check fuzz bench bench-json
+.PHONY: verify vet race adversary alloc parallel check fuzz bench bench-json bench-scaling
 
 verify:
 	$(GO) build ./...
@@ -36,13 +42,20 @@ alloc:
 	$(GO) test ./internal/nn/ -run 'TestSteadyStateZeroAllocs|TestMatMulSteadyStateZeroAllocs' -v
 	$(GO) test ./internal/tensor/ -run TestWorkspaceSteadyStateAllocs -v
 
-check: verify vet race adversary alloc
+parallel:
+	$(GO) test -race ./internal/parallel/
+	$(GO) test -race ./internal/tensor/ ./internal/nn/ ./internal/fl/ ./internal/bench/ -run 'BitIdentical|TestFinalizeClientsFirstErrorWins|TestCheckParallelDeterminism'
+
+check: verify vet race adversary alloc parallel
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/tensor/ ./internal/nn/
 
 bench-json:
 	$(GO) run ./cmd/dinar-bench -json BENCH_hotpath.json
+
+bench-scaling:
+	$(GO) run ./cmd/dinar-bench -scaling -json BENCH_hotpath.json
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadMessage -fuzztime=30s ./internal/flnet/

@@ -8,6 +8,11 @@
 //	dinar-bench -exp all                 # everything (long)
 //	dinar-bench -list                    # list experiment IDs
 //	dinar-bench -json BENCH_hotpath.json # run the hot-path benchmark suite
+//	dinar-bench -scaling -json BENCH_hotpath.json
+//	                                     # GOMAXPROCS sweep: ns/op, speedup,
+//	                                     # and efficiency per CPU count, with
+//	                                     # a serial-vs-parallel bit-identity
+//	                                     # gate before any timing
 //
 // The rows printed correspond to the bars/curves/cells of the paper's
 // artifact; EXPERIMENTS.md records paper-vs-measured values. Beyond the
@@ -21,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -45,6 +52,8 @@ func run(args []string) error {
 		rounds   = fs.Int("rounds", 0, "override FL rounds")
 		clients  = fs.Int("clients", 0, "override FL client count")
 		jsonPath = fs.String("json", "", "run the hot-path benchmark suite and write results to this JSON file (preserving any recorded baseline)")
+		scaling  = fs.Bool("scaling", false, "sweep the suite over GOMAXPROCS settings, verify parallel paths stay bit-identical to serial, and record speedup/efficiency (use with -json)")
+		cpus     = fs.String("cpus", "", "comma-separated GOMAXPROCS settings for -scaling (default 1,2,4,NumCPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +61,29 @@ func run(args []string) error {
 	if *list {
 		for _, id := range experiment.IDs() {
 			fmt.Println(id)
+		}
+		return nil
+	}
+	if *scaling {
+		counts, err := parseCPUs(*cpus)
+		if err != nil {
+			return err
+		}
+		fmt.Println("running GOMAXPROCS scaling sweep...")
+		rep, err := bench.RunScaling(counts, func(format string, a ...any) {
+			fmt.Printf(format, a...)
+		})
+		if err != nil {
+			return err
+		}
+		if rep.Note != "" {
+			fmt.Println("note:", rep.Note)
+		}
+		if *jsonPath != "" {
+			if err := bench.WriteScaling(*jsonPath, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote scaling section to %s\n", *jsonPath)
 		}
 		return nil
 	}
@@ -103,4 +135,22 @@ func run(args []string) error {
 		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// parseCPUs parses the -cpus flag ("1,2,4") into CPU counts; empty means the
+// default sweep.
+func parseCPUs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	counts := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -cpus entry %q (want positive integers, e.g. 1,2,4)", p)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }

@@ -32,3 +32,24 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("bad flag should fail")
 	}
 }
+
+func TestRunBadCPUs(t *testing.T) {
+	for _, bad := range []string{"0", "two", "1,,4", "-1"} {
+		if err := run([]string{"-scaling", "-cpus", bad}); err == nil {
+			t.Fatalf("-cpus %q should fail", bad)
+		}
+	}
+}
+
+func TestParseCPUs(t *testing.T) {
+	counts, err := parseCPUs("1, 2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 3 || counts[0] != 1 || counts[1] != 2 || counts[2] != 4 {
+		t.Fatalf("parsed %v, want [1 2 4]", counts)
+	}
+	if counts, err := parseCPUs(""); err != nil || counts != nil {
+		t.Fatalf("empty -cpus should mean default sweep, got %v, %v", counts, err)
+	}
+}

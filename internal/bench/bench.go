@@ -23,29 +23,91 @@ import (
 	"repro/internal/tensor"
 )
 
+// SchemaVersion is the current BENCH_hotpath.json layout version. Version 1
+// recorded a single top-level gomaxprocs per snapshot; version 2 stamps the
+// CPU count on every result (so a GOMAXPROCS sweep and the single-core
+// baseline coexist) and adds the optional "scaling" section. ReadFile
+// migrates version-1 files in place.
+const SchemaVersion = 2
+
 // Result is one benchmark measurement.
 type Result struct {
 	NsPerOp     int64 `json:"ns_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	Iterations  int   `json:"iterations"`
+	// GOMAXPROCS is the CPU count the measurement ran at (schema v2).
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 }
 
 // Snapshot is one full run of the hot-path suite.
 type Snapshot struct {
-	Commit     string            `json:"commit,omitempty"`
-	Note       string            `json:"note,omitempty"`
+	Commit string `json:"commit,omitempty"`
+	Note   string `json:"note,omitempty"`
+	// GOMAXPROCS is the setting the whole snapshot ran at; individual
+	// results carry their own copy since schema v2.
 	GOMAXPROCS int               `json:"gomaxprocs"`
 	Results    map[string]Result `json:"results"`
 }
 
-// File is the on-disk layout of BENCH_hotpath.json: the current snapshot plus
-// a baseline that WriteFile preserves across regenerations. The baseline is
-// updated only deliberately (by editing the file), never by rerunning the
-// suite.
+// ScalingResult is one benchmark measured at one GOMAXPROCS setting during
+// the multi-core scaling sweep.
+type ScalingResult struct {
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	NsPerOp    int64 `json:"ns_per_op"`
+	Iterations int   `json:"iterations"`
+	// Speedup is ns/op at the sweep's smallest CPU count divided by ns/op
+	// at this one; Efficiency is Speedup divided by GOMAXPROCS (1.0 =
+	// perfect linear scaling).
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// ScalingReport records one GOMAXPROCS sweep of the hot-path suite.
+type ScalingReport struct {
+	// HostCPUs is runtime.NumCPU() on the measuring machine — the hard
+	// ceiling on real parallel speedup regardless of the GOMAXPROCS
+	// setting.
+	HostCPUs  int    `json:"host_cpus"`
+	CPUCounts []int  `json:"cpu_counts"`
+	Note      string `json:"note,omitempty"`
+	// Results maps benchmark name to its per-CPU-count measurements,
+	// ordered as CPUCounts.
+	Results map[string][]ScalingResult `json:"results"`
+}
+
+// File is the on-disk layout of BENCH_hotpath.json: the current snapshot, a
+// baseline that WriteFile preserves across regenerations, and the optional
+// scaling sweep. The baseline is updated only deliberately (by editing the
+// file), never by rerunning the suite.
 type File struct {
-	Baseline *Snapshot `json:"baseline,omitempty"`
-	Current  Snapshot  `json:"current"`
+	SchemaVersion int           `json:"schema_version,omitempty"`
+	Baseline      *Snapshot     `json:"baseline,omitempty"`
+	Current       Snapshot      `json:"current"`
+	Scaling       *ScalingReport `json:"scaling,omitempty"`
+}
+
+// migrate upgrades a version-1 file in place: the snapshot-level gomaxprocs
+// is stamped onto every result that lacks one, so per-result CPU counts are
+// total after migration.
+func (f *File) migrate() {
+	if f.SchemaVersion >= SchemaVersion {
+		return
+	}
+	stamp := func(s *Snapshot) {
+		if s == nil {
+			return
+		}
+		for name, r := range s.Results {
+			if r.GOMAXPROCS == 0 {
+				r.GOMAXPROCS = s.GOMAXPROCS
+				s.Results[name] = r
+			}
+		}
+	}
+	stamp(f.Baseline)
+	stamp(&f.Current)
+	f.SchemaVersion = SchemaVersion
 }
 
 // suiteEntry names one benchmark of the hot-path suite.
@@ -150,6 +212,7 @@ var suite = []suiteEntry{
 // RunHotPath executes the suite and returns the snapshot. logf, when
 // non-nil, receives one progress line per entry.
 func RunHotPath(logf func(format string, args ...any)) Snapshot {
+	procs := runtime.GOMAXPROCS(0)
 	results := make(map[string]Result, len(suite))
 	for _, e := range suite {
 		r := testing.Benchmark(e.fn)
@@ -158,6 +221,7 @@ func RunHotPath(logf func(format string, args ...any)) Snapshot {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 			Iterations:  r.N,
+			GOMAXPROCS:  procs,
 		}
 		results[e.name] = res
 		if logf != nil {
@@ -165,7 +229,7 @@ func RunHotPath(logf func(format string, args ...any)) Snapshot {
 				e.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 		}
 	}
-	return Snapshot{GOMAXPROCS: runtime.GOMAXPROCS(0), Results: results}
+	return Snapshot{GOMAXPROCS: procs, Results: results}
 }
 
 // ReadFile loads a benchmark file; a missing file returns an empty File.
@@ -181,17 +245,20 @@ func ReadFile(path string) (File, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return f, fmt.Errorf("bench: parse %s: %w", path, err)
 	}
+	f.migrate()
 	return f, nil
 }
 
-// WriteFile records cur as the file's current snapshot, preserving the
-// baseline already recorded at path (if any).
-func WriteFile(path string, cur Snapshot) error {
+// UpdateFile reads the file at path (migrating old schemas), applies mutate,
+// and writes the result back. Sections mutate does not touch — notably the
+// baseline — are preserved.
+func UpdateFile(path string, mutate func(*File)) error {
 	f, err := ReadFile(path)
 	if err != nil {
 		return err
 	}
-	f.Current = cur
+	mutate(&f)
+	f.SchemaVersion = SchemaVersion
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return fmt.Errorf("bench: marshal: %w", err)
@@ -200,4 +267,16 @@ func WriteFile(path string, cur Snapshot) error {
 		return fmt.Errorf("bench: write %s: %w", path, err)
 	}
 	return nil
+}
+
+// WriteFile records cur as the file's current snapshot, preserving the
+// baseline and scaling sections already recorded at path (if any).
+func WriteFile(path string, cur Snapshot) error {
+	return UpdateFile(path, func(f *File) { f.Current = cur })
+}
+
+// WriteScaling records rep as the file's scaling section, preserving the
+// baseline and current sections.
+func WriteScaling(path string, rep *ScalingReport) error {
+	return UpdateFile(path, func(f *File) { f.Scaling = rep })
 }

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// TestReadFileMigratesV1 checks that a version-1 file (single snapshot-level
+// gomaxprocs, no schema_version) comes back with the CPU count stamped on
+// every result and the current schema version.
+func TestReadFileMigratesV1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	v1 := `{
+  "baseline": {
+    "commit": "abc1234",
+    "gomaxprocs": 1,
+    "results": {"matmul": {"ns_per_op": 100, "iterations": 5}}
+  },
+  "current": {
+    "gomaxprocs": 2,
+    "results": {"matmul": {"ns_per_op": 80, "iterations": 7}}
+  }
+}`
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema version %d after migration, want %d", f.SchemaVersion, SchemaVersion)
+	}
+	if got := f.Baseline.Results["matmul"].GOMAXPROCS; got != 1 {
+		t.Fatalf("baseline result gomaxprocs %d, want snapshot's 1", got)
+	}
+	if got := f.Current.Results["matmul"].GOMAXPROCS; got != 2 {
+		t.Fatalf("current result gomaxprocs %d, want snapshot's 2", got)
+	}
+	// Migration must not invent measurements.
+	if got := f.Current.Results["matmul"].NsPerOp; got != 80 {
+		t.Fatalf("current ns/op %d, want 80", got)
+	}
+}
+
+// TestUpdateFilePreservesSections checks the read-modify-write cycle keeps
+// the baseline and scaling sections intact while replacing the current
+// snapshot, and writes the schema version.
+func TestUpdateFilePreservesSections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := UpdateFile(path, func(f *File) {
+		f.Baseline = &Snapshot{
+			Commit:  "seed000",
+			Results: map[string]Result{"matmul": {NsPerOp: 100, GOMAXPROCS: 1}},
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep := &ScalingReport{
+		HostCPUs:  1,
+		CPUCounts: []int{1, 2},
+		Results: map[string][]ScalingResult{
+			"matmul": {
+				{GOMAXPROCS: 1, NsPerOp: 100, Speedup: 1, Efficiency: 1},
+				{GOMAXPROCS: 2, NsPerOp: 90, Speedup: 100.0 / 90.0, Efficiency: 100.0 / 180.0},
+			},
+		},
+	}
+	if err := WriteScaling(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, Snapshot{
+		GOMAXPROCS: 1,
+		Results:    map[string]Result{"matmul": {NsPerOp: 95, GOMAXPROCS: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Baseline == nil || f.Baseline.Commit != "seed000" {
+		t.Fatal("baseline lost across WriteScaling/WriteFile")
+	}
+	if f.Scaling == nil || len(f.Scaling.Results["matmul"]) != 2 {
+		t.Fatal("scaling section lost across WriteFile")
+	}
+	if got := f.Current.Results["matmul"].NsPerOp; got != 95 {
+		t.Fatalf("current ns/op %d, want 95", got)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "\"schema_version\": 2") {
+		t.Fatal("written file lacks schema_version 2")
+	}
+}
+
+// TestCheckParallelDeterminism runs the scaling sweep's divergence gate at a
+// pool size past the host CPU count; any non-bit-identical parallel kernel
+// fails here before it could be benchmarked as correct.
+func TestCheckParallelDeterminism(t *testing.T) {
+	prev := parallel.Workers()
+	defer parallel.SetWorkers(prev)
+	for _, workers := range []int{2, 4} {
+		if err := CheckParallelDeterminism(workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestDefaultCPUCounts checks the sweep settings are sorted, deduplicated,
+// and start at 1.
+func TestDefaultCPUCounts(t *testing.T) {
+	counts := DefaultCPUCounts()
+	if len(counts) == 0 || counts[0] != 1 {
+		t.Fatalf("counts %v must start at 1", counts)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] <= counts[i-1] {
+			t.Fatalf("counts %v not strictly increasing", counts)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package fl
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// restorePool resets compute-pool configuration mutated by a test.
+func restorePool(t *testing.T) {
+	t.Helper()
+	prevW := parallel.Workers()
+	t.Cleanup(func() { parallel.SetWorkers(prevW) })
+}
+
+// buildRun constructs a small system, runs it to completion, finalizes the
+// clients, and returns the mean accuracy plus every client's final state.
+func buildRun(t *testing.T, par bool) (float64, [][]float64) {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Clients = 5
+	cfg.Parallel = par
+	sys, err := NewSystem(cfg, &noneDefense{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FinalizeClients(); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := sys.MeanClientAccuracy(sys.Split.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make([][]float64, len(sys.Clients))
+	for i, c := range sys.Clients {
+		states[i] = c.Model.StateVector()
+	}
+	return acc, states
+}
+
+// TestFinalizeAndAccuracyPoolParallelBitIdentical checks the pool-parallel
+// FinalizeClients / MeanClientAccuracy / RunRound paths produce the same
+// accuracy and the same client states as the serial configuration,
+// regardless of pool size.
+func TestFinalizeAndAccuracyPoolParallelBitIdentical(t *testing.T) {
+	restorePool(t)
+	parallel.SetWorkers(1)
+	wantAcc, wantStates := buildRun(t, false)
+	for _, workers := range []int{2, 4} {
+		parallel.SetWorkers(workers)
+		acc, states := buildRun(t, true)
+		if acc != wantAcc {
+			t.Fatalf("workers=%d: accuracy %v, serial %v", workers, acc, wantAcc)
+		}
+		for i := range states {
+			if len(states[i]) != len(wantStates[i]) {
+				t.Fatalf("workers=%d client %d: state length mismatch", workers, i)
+			}
+			for j := range states[i] {
+				if states[i][j] != wantStates[i][j] {
+					t.Fatalf("workers=%d client %d: state[%d] = %v, serial %v",
+						workers, i, j, states[i][j], wantStates[i][j])
+				}
+			}
+		}
+	}
+}
+
+// truncatingDefense corrupts the download path for client IDs at or above
+// failFrom, forcing Install to fail for those clients.
+type truncatingDefense struct {
+	noneDefense
+	failFrom int
+}
+
+func (d *truncatingDefense) OnGlobalModel(clientID, round int, global []float64) []float64 {
+	if clientID >= d.failFrom {
+		return global[:1]
+	}
+	return d.noneDefense.OnGlobalModel(clientID, round, global)
+}
+
+// TestFinalizeClientsFirstErrorWins checks the deterministic error rule: the
+// lowest-index failing client's error is the one returned, independent of
+// pool size and scheduling.
+func TestFinalizeClientsFirstErrorWins(t *testing.T) {
+	restorePool(t)
+	cfg := smallConfig()
+	cfg.Clients = 5
+	def := &truncatingDefense{failFrom: 2}
+	sys, err := NewSystem(cfg, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		parallel.SetWorkers(workers)
+		var want error
+		// The reference error comes from installing the truncated state on
+		// the lowest failing client directly.
+		want = sys.Clients[2].Install(sys.Server.GlobalState()[:1])
+		if want == nil {
+			t.Fatal("truncated install unexpectedly succeeded")
+		}
+		got := sys.FinalizeClients()
+		if got == nil {
+			t.Fatalf("workers=%d: FinalizeClients should fail", workers)
+		}
+		if got.Error() != want.Error() {
+			t.Fatalf("workers=%d: got error %q, want lowest-index client error %q", workers, got, want)
+		}
+		// Restore the corrupted client for the next iteration.
+		if err := sys.Clients[2].Install(sys.Server.GlobalState()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

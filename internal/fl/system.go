@@ -5,13 +5,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
 	"repro/internal/data"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/optim"
+	"repro/internal/parallel"
 )
 
 // Config describes a complete in-process FL experiment.
@@ -238,31 +238,24 @@ func (s *System) RunRound(ctx context.Context) ([]*Update, error) {
 	updates := make([]*Update, len(participants))
 
 	if s.Config.Parallel {
-		var (
-			wg       sync.WaitGroup
-			mu       sync.Mutex
-			firstErr error
-		)
-		for i, c := range participants {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			wg.Add(1)
-			go func(i int, c *Client) {
-				defer wg.Done()
-				u, err := c.RunRound(round, global, s.Defense, s.Meter)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-					return
+		// Clients train concurrently on the shared compute pool: the pool
+		// bounds client-level concurrency at Workers(), and the matmul /
+		// im2col fan-outs inside each client draw from the same token
+		// bucket, so a 50-client round no longer schedules
+		// 50×GOMAXPROCS compute goroutines. Errors land in an indexed
+		// slice and the lowest-index one wins, deterministically.
+		errs := make([]error, len(participants))
+		parallel.For(len(participants), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
 				}
-				updates[i] = u
-			}(i, c)
-		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
+				updates[i], errs[i] = participants[i].RunRound(round, global, s.Defense, s.Meter)
+			}
+		})
+		if err := firstError(errs); err != nil {
+			return nil, err
 		}
 	} else {
 		for i, c := range participants {
@@ -295,32 +288,56 @@ func (s *System) Run(ctx context.Context) ([]*Update, error) {
 	return last, nil
 }
 
-// FinalizeClients delivers the final global model to every client through the
-// defense's download path (so DINAR clients end personalized), leaving each
-// client's model in its prediction-ready state. Call after Run and before
-// evaluating client utility.
-func (s *System) FinalizeClients() error {
-	round := s.Server.Round()
-	global := s.Server.GlobalState()
-	for _, c := range s.Clients {
-		state := s.Defense.OnGlobalModel(c.ID, round, global)
-		if err := c.Install(state); err != nil {
+// firstError returns the lowest-index non-nil error of an indexed error
+// slice — the deterministic "first error wins" rule shared by the
+// pool-parallel client loops.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// FinalizeClients delivers the final global model to every client through the
+// defense's download path (so DINAR clients end personalized), leaving each
+// client's model in its prediction-ready state. Call after Run and before
+// evaluating client utility. Clients are finalized concurrently on the
+// shared compute pool; on failure the lowest-index error is returned.
+func (s *System) FinalizeClients() error {
+	round := s.Server.Round()
+	global := s.Server.GlobalState()
+	errs := make([]error, len(s.Clients))
+	parallel.For(len(s.Clients), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := s.Clients[i]
+			state := s.Defense.OnGlobalModel(c.ID, round, global)
+			errs[i] = c.Install(state)
+		}
+	})
+	return firstError(errs)
+}
+
 // MeanClientAccuracy evaluates every client's personalized model on ds and
 // returns the average accuracy — the paper's "overall model utility metric"
-// (Appendix A).
+// (Appendix A). Clients are evaluated concurrently on the shared compute
+// pool; per-client accuracies land in an indexed slice and are summed in
+// client order, so the result is bit-identical to the serial loop, and on
+// failure the lowest-index error is returned.
 func (s *System) MeanClientAccuracy(ds *data.Dataset) (float64, error) {
-	sum := 0.0
-	for _, c := range s.Clients {
-		acc, _, err := c.Evaluate(ds)
-		if err != nil {
-			return 0, err
+	accs := make([]float64, len(s.Clients))
+	errs := make([]error, len(s.Clients))
+	parallel.For(len(s.Clients), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			accs[i], _, errs[i] = s.Clients[i].Evaluate(ds)
 		}
+	})
+	if err := firstError(errs); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, acc := range accs {
 		sum += acc
 	}
 	return sum / float64(len(s.Clients)), nil

@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -11,6 +12,12 @@ const (
 	actSlotOut = iota
 	actSlotGradIn
 )
+
+// The activation kernels are purely elementwise, so they fan out over the
+// flat element range on the compute pool: chunk boundaries never change the
+// per-element arithmetic, keeping parallel output bit-identical to the
+// serial loop. The serial decision is taken with parallel.Chunks before any
+// closure is built so small steady-state steps stay allocation-free.
 
 // ReLU is the rectified-linear activation max(0, x).
 type ReLU struct {
@@ -33,42 +40,60 @@ func (r *ReLU) cloneLayer() Layer { return NewReLU() }
 // until the next Forward on this layer.
 func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	out := r.ws.GetLike(actSlotOut, x)
-	data := out.Data()
-	copy(data, x.Data())
+	data, xd := out.Data(), x.Data()
 	if cap(r.mask) < len(data) {
 		r.mask = make([]bool, len(data))
 	}
 	r.mask = r.mask[:len(data)]
-	for i, v := range data {
-		if v > 0 {
-			r.mask[i] = true
+	mask := r.mask
+	g := parallel.Grain(1)
+	if parallel.Chunks(len(data), g) <= 1 {
+		reluForwardRange(data, xd, mask, 0, len(data))
+		return out
+	}
+	parallel.For(len(data), g, func(lo, hi int) {
+		reluForwardRange(data, xd, mask, lo, hi)
+	})
+	return out
+}
+
+func reluForwardRange(dst, src []float64, mask []bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if v := src[i]; v > 0 {
+			dst[i] = v
+			mask[i] = true
 		} else {
-			r.mask[i] = false
-			data[i] = 0
+			dst[i] = 0
+			mask[i] = false
 		}
 	}
-	return out
 }
 
 // Backward implements Layer. The returned tensor is a workspace buffer valid
 // until the next Backward on this layer.
 func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	grad := r.ws.GetLike(actSlotGradIn, gradOut)
-	data := grad.Data()
-	copy(data, gradOut.Data())
-	for i := range data {
-		if !r.mask[i] {
-			data[i] = 0
-		}
+	data, god, mask := grad.Data(), gradOut.Data(), r.mask
+	g := parallel.Grain(1)
+	if parallel.Chunks(len(data), g) <= 1 {
+		reluBackwardRange(data, god, mask, 0, len(data))
+		return grad
 	}
+	parallel.For(len(data), g, func(lo, hi int) {
+		reluBackwardRange(data, god, mask, lo, hi)
+	})
 	return grad
 }
 
-// Params implements Layer.
-func (r *ReLU) Params() []*tensor.Tensor { return nil }
-
-// Grads implements Layer.
-func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+func reluBackwardRange(dst, src []float64, mask []bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if mask[i] {
+			dst[i] = src[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}
 
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct {
@@ -87,14 +112,31 @@ func (t *Tanh) Name() string { return "tanh" }
 // cloneLayer implements layer cloning with an unshared workspace.
 func (t *Tanh) cloneLayer() Layer { return NewTanh() }
 
+// tanhOpCost weights math.Tanh against the one-flop unit parallel.Grain
+// assumes, so the pool splits tanh loops at proportionally smaller sizes.
+const tanhOpCost = 8
+
 // Forward implements Layer. The returned tensor is a workspace buffer valid
 // until the next Forward on this layer.
 func (t *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	out := t.ws.GetLike(actSlotOut, x)
-	copy(out.Data(), x.Data())
-	out.Apply(math.Tanh)
+	od, xd := out.Data(), x.Data()
+	g := parallel.Grain(tanhOpCost)
+	if parallel.Chunks(len(od), g) <= 1 {
+		tanhForwardRange(od, xd, 0, len(od))
+	} else {
+		parallel.For(len(od), g, func(lo, hi int) {
+			tanhForwardRange(od, xd, lo, hi)
+		})
+	}
 	t.lastOut = out
 	return out
+}
+
+func tanhForwardRange(dst, src []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = math.Tanh(src[i])
+	}
 }
 
 // Backward implements Layer. The returned tensor is a workspace buffer valid
@@ -104,13 +146,29 @@ func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		panic("nn: tanh Backward before Forward")
 	}
 	grad := t.ws.GetLike(actSlotGradIn, gradOut)
-	gd, od := grad.Data(), t.lastOut.Data()
-	copy(gd, gradOut.Data())
-	for i := range gd {
-		gd[i] *= 1 - od[i]*od[i]
+	gd, god, od := grad.Data(), gradOut.Data(), t.lastOut.Data()
+	g := parallel.Grain(1)
+	if parallel.Chunks(len(gd), g) <= 1 {
+		tanhBackwardRange(gd, god, od, 0, len(gd))
+		return grad
 	}
+	parallel.For(len(gd), g, func(lo, hi int) {
+		tanhBackwardRange(gd, god, od, lo, hi)
+	})
 	return grad
 }
+
+func tanhBackwardRange(dst, god, od []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = god[i] * (1 - od[i]*od[i])
+	}
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
 
 // Params implements Layer.
 func (t *Tanh) Params() []*tensor.Tensor { return nil }

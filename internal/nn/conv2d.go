@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -203,44 +202,23 @@ func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.w, c.b} }
 // Grads implements Layer.
 func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gw, c.gb} }
 
-// batchWorkThreshold is the minimum per-call element work below which the
-// im2col/col2im loops stay single-threaded (same scale as the matmul
-// threshold).
-const batchWorkThreshold = 1 << 16
-
-// batchWorkers returns how many goroutines to fan a batch loop across, or 1
-// for the serial path. The serial decision is taken before any closure is
-// built so small steady-state steps stay allocation-free.
-func batchWorkers(batch, totalWork int) int {
-	workers := runtime.GOMAXPROCS(0)
-	if batch <= 1 || workers <= 1 || totalWork < batchWorkThreshold {
-		return 1
-	}
-	return min(workers, batch)
-}
-
 // im2colInto unrolls convolution windows of x [B, C, H, W] into col, a matrix
 // of shape [B*oh*ow, C*kh*kw]. Every element of col is written (padding
 // positions are explicitly zeroed), so col may hold stale workspace data on
 // entry. Batch items are independent rows, so the loop fans out over the
-// batch dimension when the volume justifies it.
+// batch dimension on the compute pool when the volume justifies it; the
+// serial decision is taken before any closure is built so small
+// steady-state steps stay allocation-free.
 func im2colInto(col, x *tensor.Tensor, kh, kw, stride, pad, oh, ow int) {
 	batch := x.Dim(0)
-	if workers := batchWorkers(batch, col.Len()); workers > 1 {
-		per := (batch + workers - 1) / workers
-		var wg sync.WaitGroup
-		for lo := 0; lo < batch; lo += per {
-			hi := min(lo+per, batch)
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				im2colRange(col, x, lo, hi, kh, kw, stride, pad, oh, ow)
-			}(lo, hi)
-		}
-		wg.Wait()
+	g := parallel.Grain(col.Len() / batch)
+	if parallel.Chunks(batch, g) <= 1 {
+		im2colRange(col, x, 0, batch, kh, kw, stride, pad, oh, ow)
 		return
 	}
-	im2colRange(col, x, 0, batch, kh, kw, stride, pad, oh, ow)
+	parallel.For(batch, g, func(lo, hi int) {
+		im2colRange(col, x, lo, hi, kh, kw, stride, pad, oh, ow)
+	})
 }
 
 // im2colRange unrolls batch items [b0,b1).
@@ -284,25 +262,18 @@ func im2colRange(col, x *tensor.Tensor, b0, b1, kh, kw, stride, pad, oh, ow int)
 // col2imInto scatters a column matrix back into out (shape [B, C, H, W]),
 // accumulating overlapping contributions. It is the adjoint of im2col; out
 // must be zeroed by the caller. Batch items scatter into disjoint regions of
-// out, so the loop fans out over the batch dimension when the volume
-// justifies it.
+// out, so the loop fans out over the batch dimension on the compute pool
+// when the volume justifies it.
 func col2imInto(out, col *tensor.Tensor, kh, kw, stride, pad, oh, ow int) {
 	batch := out.Dim(0)
-	if workers := batchWorkers(batch, col.Len()); workers > 1 {
-		per := (batch + workers - 1) / workers
-		var wg sync.WaitGroup
-		for lo := 0; lo < batch; lo += per {
-			hi := min(lo+per, batch)
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				col2imRange(out, col, lo, hi, kh, kw, stride, pad, oh, ow)
-			}(lo, hi)
-		}
-		wg.Wait()
+	g := parallel.Grain(col.Len() / batch)
+	if parallel.Chunks(batch, g) <= 1 {
+		col2imRange(out, col, 0, batch, kh, kw, stride, pad, oh, ow)
 		return
 	}
-	col2imRange(out, col, 0, batch, kh, kw, stride, pad, oh, ow)
+	parallel.For(batch, g, func(lo, hi int) {
+		col2imRange(out, col, lo, hi, kh, kw, stride, pad, oh, ow)
+	})
 }
 
 // col2imRange scatters batch items [b0,b1).

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -106,7 +107,6 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b.lastShape = recordShape(b.lastShape, x)
 	batch := x.Dim(0)
 	spatial := x.Len() / (batch * b.C)
-	n := batch * spatial
 
 	if cap(b.meanBuf) < b.C {
 		b.meanBuf = make([]float64, b.C)
@@ -116,26 +116,16 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	variance := b.varBuf[:b.C]
 	xd := x.Data()
 	if train {
-		for c := 0; c < b.C; c++ {
-			s := 0.0
-			for bi := 0; bi < batch; bi++ {
-				base := (bi*b.C + c) * spatial
-				for i := 0; i < spatial; i++ {
-					s += xd[base+i]
-				}
-			}
-			mean[c] = s / float64(n)
-		}
-		for c := 0; c < b.C; c++ {
-			s := 0.0
-			for bi := 0; bi < batch; bi++ {
-				base := (bi*b.C + c) * spatial
-				for i := 0; i < spatial; i++ {
-					d := xd[base+i] - mean[c]
-					s += d * d
-				}
-			}
-			variance[c] = s / float64(n)
+		// Batch statistics reduce over (batch, spatial) per channel, so the
+		// fan-out is across channels: every channel's sum keeps its serial
+		// accumulation order and parallel results stay bit-identical.
+		g := parallel.Grain(2 * batch * spatial)
+		if parallel.Chunks(b.C, g) <= 1 {
+			bnStatsRange(xd, mean, variance, 0, b.C, batch, b.C, spatial)
+		} else {
+			parallel.For(b.C, g, func(lo, hi int) {
+				bnStatsRange(xd, mean, variance, lo, hi, batch, b.C, spatial)
+			})
 		}
 		rm, rv := b.runMean.Data(), b.runVar.Data()
 		for c := 0; c < b.C; c++ {
@@ -167,18 +157,61 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 	out := b.ws.Get(bnSlotOut, b.lastShape...)
 	od, gd, bd := out.Data(), b.gamma.Data(), b.beta.Data()
-	for bi := 0; bi < batch; bi++ {
-		for c := 0; c < b.C; c++ {
-			base := (bi*b.C + c) * spatial
-			m, is, g, bt := mean[c], b.invStd[c], gd[c], bd[c]
+	xhat, invStd := b.xhat, b.invStd
+	// Normalization is elementwise given the per-channel coefficients, so
+	// it fans out over the batch dimension.
+	bg := parallel.Grain(b.C * spatial)
+	if parallel.Chunks(batch, bg) <= 1 {
+		bnNormalizeRange(od, xd, xhat, mean, invStd, gd, bd, 0, batch, b.C, spatial)
+		return out
+	}
+	parallel.For(batch, bg, func(lo, hi int) {
+		bnNormalizeRange(od, xd, xhat, mean, invStd, gd, bd, lo, hi, b.C, spatial)
+	})
+	return out
+}
+
+// bnStatsRange computes batch mean and variance for channels [c0,c1),
+// reducing over (batch, spatial) in ascending order — the same order as the
+// serial loop, so chunked execution is bit-identical.
+func bnStatsRange(xd, mean, variance []float64, c0, c1, batch, C, spatial int) {
+	n := float64(batch * spatial)
+	for c := c0; c < c1; c++ {
+		s := 0.0
+		for bi := 0; bi < batch; bi++ {
+			base := (bi*C + c) * spatial
+			for i := 0; i < spatial; i++ {
+				s += xd[base+i]
+			}
+		}
+		mean[c] = s / n
+	}
+	for c := c0; c < c1; c++ {
+		s := 0.0
+		for bi := 0; bi < batch; bi++ {
+			base := (bi*C + c) * spatial
+			for i := 0; i < spatial; i++ {
+				d := xd[base+i] - mean[c]
+				s += d * d
+			}
+		}
+		variance[c] = s / n
+	}
+}
+
+// bnNormalizeRange normalizes batch items [b0,b1) and caches xhat.
+func bnNormalizeRange(od, xd, xhat, mean, invStd, gd, bd []float64, b0, b1, C, spatial int) {
+	for bi := b0; bi < b1; bi++ {
+		for c := 0; c < C; c++ {
+			base := (bi*C + c) * spatial
+			m, is, g, bt := mean[c], invStd[c], gd[c], bd[c]
 			for i := 0; i < spatial; i++ {
 				xh := (xd[base+i] - m) * is
-				b.xhat[base+i] = xh
+				xhat[base+i] = xh
 				od[base+i] = g*xh + bt
 			}
 		}
 	}
-	return out
 }
 
 // Backward implements Layer. It assumes the preceding Forward ran with
@@ -195,30 +228,63 @@ func (b *BatchNorm) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	b.gBeta.Zero()
 	ggd, gbd := b.gGamma.Data(), b.gBeta.Data()
 	god := gradOut.Data()
-	for bi := 0; bi < batch; bi++ {
-		for c := 0; c < b.C; c++ {
-			base := (bi*b.C + c) * spatial
-			for i := 0; i < spatial; i++ {
-				g := god[base+i]
-				gbd[c] += g
-				ggd[c] += g * b.xhat[base+i]
-			}
-		}
+	xhat := b.xhat
+	// The gamma/beta gradients reduce over (batch, spatial) per channel, so
+	// the fan-out is across channels; each channel keeps the serial
+	// batch-ascending accumulation order, so results are bit-identical.
+	cg := parallel.Grain(2 * batch * spatial)
+	if parallel.Chunks(b.C, cg) <= 1 {
+		bnGradSumsRange(god, xhat, ggd, gbd, 0, b.C, batch, b.C, spatial)
+	} else {
+		parallel.For(b.C, cg, func(lo, hi int) {
+			bnGradSumsRange(god, xhat, ggd, gbd, lo, hi, batch, b.C, spatial)
+		})
 	}
 
 	gradIn := b.ws.Get(bnSlotGradIn, b.lastShape...)
 	gid, gmd := gradIn.Data(), b.gamma.Data()
-	for bi := 0; bi < batch; bi++ {
-		for c := 0; c < b.C; c++ {
-			base := (bi*b.C + c) * spatial
-			k := gmd[c] * b.invStd[c]
+	invStd := b.invStd
+	bg := parallel.Grain(b.C * spatial)
+	if parallel.Chunks(batch, bg) <= 1 {
+		bnGradInRange(gid, god, xhat, gmd, invStd, gbd, ggd, 0, batch, b.C, spatial, n)
+		return gradIn
+	}
+	parallel.For(batch, bg, func(lo, hi int) {
+		bnGradInRange(gid, god, xhat, gmd, invStd, gbd, ggd, lo, hi, b.C, spatial, n)
+	})
+	return gradIn
+}
+
+// bnGradSumsRange accumulates the beta and gamma gradients for channels
+// [c0,c1). Per channel the (batch, spatial) order matches the serial loop.
+func bnGradSumsRange(god, xhat, ggd, gbd []float64, c0, c1, batch, C, spatial int) {
+	for c := c0; c < c1; c++ {
+		sb, sg := 0.0, 0.0
+		for bi := 0; bi < batch; bi++ {
+			base := (bi*C + c) * spatial
+			for i := 0; i < spatial; i++ {
+				g := god[base+i]
+				sb += g
+				sg += g * xhat[base+i]
+			}
+		}
+		gbd[c] += sb
+		ggd[c] += sg
+	}
+}
+
+// bnGradInRange computes the input gradient for batch items [b0,b1).
+func bnGradInRange(gid, god, xhat, gmd, invStd, gbd, ggd []float64, b0, b1, C, spatial int, n float64) {
+	for bi := b0; bi < b1; bi++ {
+		for c := 0; c < C; c++ {
+			base := (bi*C + c) * spatial
+			k := gmd[c] * invStd[c]
 			dbeta, dgamma := gbd[c]/n, ggd[c]/n
 			for i := 0; i < spatial; i++ {
-				gid[base+i] = k * (god[base+i] - dbeta - b.xhat[base+i]*dgamma)
+				gid[base+i] = k * (god[base+i] - dbeta - xhat[base+i]*dgamma)
 			}
 		}
 	}
-	return gradIn
 }
 
 // Params implements Layer.

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -11,6 +12,24 @@ const (
 	poolSlotOut = iota
 	poolSlotGradIn
 )
+
+// Every pooling kernel is independent per (batch, channel) plane, so the
+// loops fan out over the flattened batch*channel dimension on the compute
+// pool. Chunk boundaries fall on plane boundaries, each plane's arithmetic
+// order is unchanged, and planes write disjoint output regions, so parallel
+// results are bit-identical to the serial loops. The serial decision is
+// taken with parallel.Chunks before any closure is built so small
+// steady-state steps stay allocation-free.
+
+// scatterRange accumulates god[lo:hi) into gid at the cached argmax
+// positions — the shared backward kernel of the max-pooling layers. Chunk
+// ranges must align to plane boundaries: argmax targets stay inside the
+// source plane, so aligned chunks never write the same element.
+func scatterRange(gid, god []float64, argmax []int, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		gid[argmax[i]] += god[i]
+	}
+}
 
 // MaxPool2D is a 2-D max pooling layer over [B, C, H, W] inputs with a square
 // window and equal stride (the common VGG configuration).
@@ -50,8 +69,22 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		p.argmax = make([]int, n)
 	}
 	p.argmax = p.argmax[:n]
-	xd, od := x.Data(), out.Data()
-	for bc := 0; bc < batch*ch; bc++ {
+	xd, od, argmax := x.Data(), out.Data(), p.argmax
+	nbc := batch * ch
+	g := parallel.Grain(oh * ow * p.K * p.K)
+	if parallel.Chunks(nbc, g) <= 1 {
+		p.forwardRange(xd, od, argmax, 0, nbc, h, w, oh, ow)
+		return out
+	}
+	parallel.For(nbc, g, func(lo, hi int) {
+		p.forwardRange(xd, od, argmax, lo, hi, h, w, oh, ow)
+	})
+	return out
+}
+
+// forwardRange pools planes [bc0,bc1).
+func (p *MaxPool2D) forwardRange(xd, od []float64, argmax []int, bc0, bc1, h, w, oh, ow int) {
+	for bc := bc0; bc < bc1; bc++ {
 		src := xd[bc*h*w : (bc+1)*h*w]
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -74,21 +107,27 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 				}
 				oi := (bc*oh+oy)*ow + ox
 				od[oi] = best
-				p.argmax[oi] = bc*h*w + bestIdx
+				argmax[oi] = bc*h*w + bestIdx
 			}
 		}
 	}
-	return out
 }
 
 // Backward implements Layer.
 func (p *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	gradIn := p.ws.Get(poolSlotGradIn, p.lastShape...)
 	gradIn.Zero() // the argmax scatter below accumulates
-	gid, god := gradIn.Data(), gradOut.Data()
-	for i, v := range god {
-		gid[p.argmax[i]] += v
+	gid, god, argmax := gradIn.Data(), gradOut.Data(), p.argmax
+	nbc := p.lastShape[0] * p.lastShape[1]
+	spatial := len(god) / nbc
+	g := parallel.Grain(spatial)
+	if parallel.Chunks(nbc, g) <= 1 {
+		scatterRange(gid, god, argmax, 0, len(god))
+		return gradIn
 	}
+	parallel.For(nbc, g, func(lo, hi int) {
+		scatterRange(gid, god, argmax, lo*spatial, hi*spatial)
+	})
 	return gradIn
 }
 
@@ -135,8 +174,22 @@ func (p *MaxPool1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		p.argmax = make([]int, n)
 	}
 	p.argmax = p.argmax[:n]
-	xd, od := x.Data(), out.Data()
-	for bc := 0; bc < batch*ch; bc++ {
+	xd, od, argmax := x.Data(), out.Data(), p.argmax
+	nbc := batch * ch
+	g := parallel.Grain(ol * p.K)
+	if parallel.Chunks(nbc, g) <= 1 {
+		p.forwardRange(xd, od, argmax, 0, nbc, l, ol)
+		return out
+	}
+	parallel.For(nbc, g, func(lo, hi int) {
+		p.forwardRange(xd, od, argmax, lo, hi, l, ol)
+	})
+	return out
+}
+
+// forwardRange pools planes [bc0,bc1).
+func (p *MaxPool1D) forwardRange(xd, od []float64, argmax []int, bc0, bc1, l, ol int) {
+	for bc := bc0; bc < bc1; bc++ {
 		src := xd[bc*l : (bc+1)*l]
 		for o := 0; o < ol; o++ {
 			bestIdx := o * p.Stride
@@ -152,20 +205,26 @@ func (p *MaxPool1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 			}
 			oi := bc*ol + o
 			od[oi] = best
-			p.argmax[oi] = bc*l + bestIdx
+			argmax[oi] = bc*l + bestIdx
 		}
 	}
-	return out
 }
 
 // Backward implements Layer.
 func (p *MaxPool1D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	gradIn := p.ws.Get(poolSlotGradIn, p.lastShape...)
 	gradIn.Zero() // the argmax scatter below accumulates
-	gid, god := gradIn.Data(), gradOut.Data()
-	for i, v := range god {
-		gid[p.argmax[i]] += v
+	gid, god, argmax := gradIn.Data(), gradOut.Data(), p.argmax
+	nbc := p.lastShape[0] * p.lastShape[1]
+	ol := len(god) / nbc
+	g := parallel.Grain(ol)
+	if parallel.Chunks(nbc, g) <= 1 {
+		scatterRange(gid, god, argmax, 0, len(god))
+		return gradIn
 	}
+	parallel.For(nbc, g, func(lo, hi int) {
+		scatterRange(gid, god, argmax, lo*ol, hi*ol)
+	})
 	return gradIn
 }
 
@@ -203,15 +262,28 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	p.lastShape = recordShape(p.lastShape, x)
 	out := p.ws.Get2D(poolSlotOut, batch, ch)
 	xd, od := x.Data(), out.Data()
+	nbc := batch * ch
+	g := parallel.Grain(spatial)
+	if parallel.Chunks(nbc, g) <= 1 {
+		globalAvgForwardRange(od, xd, 0, nbc, spatial)
+		return out
+	}
+	parallel.For(nbc, g, func(lo, hi int) {
+		globalAvgForwardRange(od, xd, lo, hi, spatial)
+	})
+	return out
+}
+
+// globalAvgForwardRange averages planes [bc0,bc1).
+func globalAvgForwardRange(od, xd []float64, bc0, bc1, spatial int) {
 	inv := 1.0 / float64(spatial)
-	for bc := 0; bc < batch*ch; bc++ {
+	for bc := bc0; bc < bc1; bc++ {
 		s := 0.0
 		for _, v := range xd[bc*spatial : (bc+1)*spatial] {
 			s += v
 		}
 		od[bc] = s * inv
 	}
-	return out
 }
 
 // Backward implements Layer.
@@ -220,15 +292,28 @@ func (p *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	batch, ch := p.lastShape[0], p.lastShape[1]
 	spatial := gradIn.Len() / (batch * ch)
 	gid, god := gradIn.Data(), gradOut.Data()
+	nbc := batch * ch
+	g := parallel.Grain(spatial)
+	if parallel.Chunks(nbc, g) <= 1 {
+		globalAvgBackwardRange(gid, god, 0, nbc, spatial)
+		return gradIn
+	}
+	parallel.For(nbc, g, func(lo, hi int) {
+		globalAvgBackwardRange(gid, god, lo, hi, spatial)
+	})
+	return gradIn
+}
+
+// globalAvgBackwardRange broadcasts gradients into planes [bc0,bc1).
+func globalAvgBackwardRange(gid, god []float64, bc0, bc1, spatial int) {
 	inv := 1.0 / float64(spatial)
-	for bc := 0; bc < batch*ch; bc++ {
+	for bc := bc0; bc < bc1; bc++ {
 		g := god[bc] * inv
 		dst := gid[bc*spatial : (bc+1)*spatial]
 		for i := range dst {
 			dst[i] = g
 		}
 	}
-	return gradIn
 }
 
 // Params implements Layer.
@@ -267,8 +352,22 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	p.lastShape = recordShape(p.lastShape, x)
 	out := p.ws.Get4D(poolSlotOut, batch, ch, oh, ow)
 	xd, od := x.Data(), out.Data()
+	nbc := batch * ch
+	g := parallel.Grain(oh * ow * p.K * p.K)
+	if parallel.Chunks(nbc, g) <= 1 {
+		p.forwardRange(od, xd, 0, nbc, h, w, oh, ow)
+		return out
+	}
+	parallel.For(nbc, g, func(lo, hi int) {
+		p.forwardRange(od, xd, lo, hi, h, w, oh, ow)
+	})
+	return out
+}
+
+// forwardRange pools planes [bc0,bc1).
+func (p *AvgPool2D) forwardRange(od, xd []float64, bc0, bc1, h, w, oh, ow int) {
 	inv := 1.0 / float64(p.K*p.K)
-	for bc := 0; bc < batch*ch; bc++ {
+	for bc := bc0; bc < bc1; bc++ {
 		src := xd[bc*h*w : (bc+1)*h*w]
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -282,7 +381,6 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Backward implements Layer.
@@ -292,8 +390,22 @@ func (p *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	batch, ch, h, w := p.lastShape[0], p.lastShape[1], p.lastShape[2], p.lastShape[3]
 	oh, ow := h/p.K, w/p.K
 	gid, god := gradIn.Data(), gradOut.Data()
+	nbc := batch * ch
+	g := parallel.Grain(h * w)
+	if parallel.Chunks(nbc, g) <= 1 {
+		p.backwardRange(gid, god, 0, nbc, h, w, oh, ow)
+		return gradIn
+	}
+	parallel.For(nbc, g, func(lo, hi int) {
+		p.backwardRange(gid, god, lo, hi, h, w, oh, ow)
+	})
+	return gradIn
+}
+
+// backwardRange scatters gradients into planes [bc0,bc1).
+func (p *AvgPool2D) backwardRange(gid, god []float64, bc0, bc1, h, w, oh, ow int) {
 	inv := 1.0 / float64(p.K*p.K)
-	for bc := 0; bc < batch*ch; bc++ {
+	for bc := bc0; bc < bc1; bc++ {
 		dst := gid[bc*h*w : (bc+1)*h*w]
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -306,7 +418,6 @@ func (p *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return gradIn
 }
 
 // Params implements Layer.

@@ -1,0 +1,188 @@
+// Package parallel is the process-wide bounded compute pool under every
+// data-parallel kernel in the repository (matmul, im2col, activations,
+// batch-norm statistics, pooling, and client-level federation loops).
+//
+// Before this package existed, each kernel independently fanned out to
+// GOMAXPROCS goroutines, so N concurrent FL clients scheduled N×GOMAXPROCS
+// compute goroutines that thrashed each other. The pool replaces those
+// ad-hoc fan-outs with a single token bucket holding Workers()-1 tokens: a
+// call to For runs one chunk on the calling goroutine and offloads the rest
+// only while tokens are available, falling back to inline execution the
+// moment the process-wide compute budget is spent. Nested For calls
+// therefore degrade gracefully to serial execution instead of
+// oversubscribing the scheduler, and total extra compute goroutines never
+// exceed Workers()-1 regardless of how many callers race.
+//
+// # Determinism
+//
+// For partitions [0, n) into contiguous ranges whose boundaries depend only
+// on (n, grain, Workers()) — never on token availability or execution
+// order. Callers that write disjoint outputs per index (every kernel in
+// this repository) are therefore bit-identical to their serial
+// counterparts: the same fn invocations happen with the same [lo, hi)
+// arguments, only their placement (caller vs pooled goroutine) varies.
+// Reductions stay bit-identical by reducing along the serial axis inside
+// each parallel index (e.g. batch-norm sums per channel, parallelized
+// across channels).
+//
+// # Allocation discipline
+//
+// For's fn escapes to goroutines, so the closure literal heap-allocates at
+// its creation site even when For ends up running serially. Hot paths that
+// must stay zero-allocation in steady state guard with Chunks first and
+// only build the closure on the parallel path:
+//
+//	if parallel.Chunks(n, g) <= 1 {
+//		kernelRange(0, n, ...)
+//		return
+//	}
+//	parallel.For(n, g, func(lo, hi int) { kernelRange(lo, hi, ...) })
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMinWork is the default minimum number of scalar operations a chunk
+// must amortize before For splits work across the pool. It matches the
+// threshold the matmul and im2col kernels used before the pool existed.
+const DefaultMinWork = 1 << 16
+
+// state is one immutable pool configuration; SetWorkers swaps the whole
+// struct so in-flight For calls keep releasing tokens to the bucket they
+// acquired from.
+type state struct {
+	workers int
+	tokens  chan struct{} // capacity workers-1: extra goroutines beyond callers
+}
+
+var (
+	pool    atomic.Pointer[state]
+	minWork atomic.Int64
+)
+
+func init() {
+	minWork.Store(DefaultMinWork)
+	pool.Store(newState(runtime.GOMAXPROCS(0)))
+}
+
+func newState(n int) *state {
+	if n < 1 {
+		n = 1
+	}
+	return &state{workers: n, tokens: make(chan struct{}, n-1)}
+}
+
+// Workers returns the pool size: the maximum number of goroutines
+// (including the caller) a single For call will use, and one more than the
+// process-wide cap on pooled compute goroutines.
+func Workers() int { return pool.Load().workers }
+
+// SetWorkers resizes the pool and returns the previous size, for tests and
+// the GOMAXPROCS scaling sweep. n < 1 is clamped to 1 (serial). In-flight
+// For calls finish against the configuration they started with.
+func SetWorkers(n int) (prev int) {
+	prev = pool.Swap(newState(n)).workers
+	return prev
+}
+
+// MinWork returns the current split threshold used by Grain.
+func MinWork() int { return int(minWork.Load()) }
+
+// SetMinWork overrides the split threshold and returns the previous value.
+// Tests use small values to exercise parallel paths on small shapes; v < 1
+// is clamped to 1.
+func SetMinWork(v int) (prev int) {
+	if v < 1 {
+		v = 1
+	}
+	return int(minWork.Swap(int64(v)))
+}
+
+// Grain returns the minimum chunk length (in items) such that one chunk
+// carries at least MinWork scalar operations, given perItem operations per
+// item. It is the single replacement for the per-kernel
+// threshold/GOMAXPROCS guards: For(n, Grain(perItem), fn) stays serial
+// exactly when n*perItem falls below the threshold or the pool is sized 1.
+func Grain(perItem int) int {
+	if perItem < 1 {
+		perItem = 1
+	}
+	g := (MinWork() + perItem - 1) / perItem
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Chunks returns the number of ranges For(n, grain, fn) will invoke fn
+// with: ceil(n/grain) capped at Workers(), at least 1 for n > 0, and 0 for
+// n <= 0. Hot paths call it to take an allocation-free serial path before
+// building the parallel closure.
+func Chunks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	c := (n + grain - 1) / grain
+	if w := Workers(); c > w {
+		c = w
+	}
+	return c
+}
+
+// For partitions [0, n) into Chunks(n, grain) contiguous ranges and invokes
+// fn(lo, hi) exactly once per range, returning when all invocations have
+// completed. Range boundaries are a pure function of (n, grain, Workers());
+// token availability only decides whether a range runs on a pooled
+// goroutine or inline on the caller, so callers writing disjoint outputs
+// per index are bit-identical to a serial loop. fn must not block on other
+// fn invocations of the same For call (ranges may run sequentially on the
+// caller when the pool is saturated).
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := pool.Load()
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > p.workers {
+		chunks = p.workers
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	per := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi >= n {
+			// The caller always works the final range itself.
+			fn(lo, n)
+			break
+		}
+		select {
+		case p.tokens <- struct{}{}:
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer func() {
+					<-p.tokens
+					wg.Done()
+				}()
+				fn(lo, hi)
+			}(lo, hi)
+		default:
+			// Pool saturated (e.g. by other concurrent clients): run the
+			// range inline instead of adding a runnable goroutine.
+			fn(lo, hi)
+		}
+	}
+	wg.Wait()
+}

@@ -2,13 +2,14 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"repro/internal/parallel"
 )
 
 // MatMul returns a × b for 2-D tensors a (m×k) and b (k×n). The multiply is
-// blocked over rows and parallelized across GOMAXPROCS goroutines when the
-// output is large enough to amortize the scheduling cost.
+// blocked over rows and fanned out across the process-wide compute pool
+// (internal/parallel) when the output is large enough to amortize the
+// scheduling cost.
 func MatMul(a, b *Tensor) (*Tensor, error) {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		return nil, fmt.Errorf("%w: matmul %v x %v", ErrShapeMismatch, a.shape, b.shape)
@@ -37,37 +38,21 @@ func MatMulInto(out, a, b *Tensor) error {
 	return nil
 }
 
-// parallelThreshold is the minimum number of multiply-accumulate operations
-// below which matMulInto stays single-threaded.
-const parallelThreshold = 1 << 16
+// All three matmul kernels share one split policy: a chunk of output rows
+// must carry at least parallel.MinWork() multiply-accumulates (each row is
+// k*n of them) before the multiply fans out to the pool. The serial case is
+// guarded with parallel.Chunks before any closure is built so steady-state
+// small multiplies stay allocation-free.
 
 func matMulInto(out, a, b []float64, m, k, n int) {
-	workers := runtime.GOMAXPROCS(0)
-	if m*k*n < parallelThreshold || workers <= 1 || m == 1 {
+	g := parallel.Grain(k * n)
+	if parallel.Chunks(m, g) <= 1 {
 		matMulRows(out, a, b, 0, m, k, n)
 		return
 	}
-	if workers > m {
-		workers = m
-	}
-	rowsPer := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * rowsPer
-		hi := lo + rowsPer
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRows(out, a, b, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallel.For(m, g, func(lo, hi int) {
+		matMulRows(out, a, b, lo, hi, k, n)
+	})
 }
 
 // matMulRows computes rows [lo,hi) of out = a×b using an ikj loop order that
@@ -130,29 +115,14 @@ func MatMulTransBInto(out, a, b *Tensor) error {
 }
 
 func matMulTransBInto(out, a, b []float64, m, k, n int) {
-	workers := runtime.GOMAXPROCS(0)
-	if m*k*n < parallelThreshold || workers <= 1 || m == 1 {
+	g := parallel.Grain(k * n)
+	if parallel.Chunks(m, g) <= 1 {
 		matMulTransBRows(out, a, b, 0, m, k, n)
 		return
 	}
-	if workers > m {
-		workers = m
-	}
-	rowsPer := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * rowsPer
-		hi := min(lo+rowsPer, m)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulTransBRows(out, a, b, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallel.For(m, g, func(lo, hi int) {
+		matMulTransBRows(out, a, b, lo, hi, k, n)
+	})
 }
 
 // transBTile is the number of b rows (output columns) processed together in
@@ -236,29 +206,14 @@ func MatMulTransAInto(out, a, b *Tensor) error {
 }
 
 func matMulTransAInto(out, a, b []float64, m, k, n int) {
-	workers := runtime.GOMAXPROCS(0)
-	if m*k*n < parallelThreshold || workers <= 1 || m == 1 {
+	g := parallel.Grain(k * n)
+	if parallel.Chunks(m, g) <= 1 {
 		matMulTransACols(out, a, b, 0, m, m, k, n)
 		return
 	}
-	if workers > m {
-		workers = m
-	}
-	colsPer := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * colsPer
-		hi := min(lo+colsPer, m)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulTransACols(out, a, b, lo, hi, m, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallel.For(m, g, func(lo, hi int) {
+		matMulTransACols(out, a, b, lo, hi, m, k, n)
+	})
 }
 
 // matMulTransACols computes output rows [lo,hi) of out = aᵀ×b (i.e. columns

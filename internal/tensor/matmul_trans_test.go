@@ -8,7 +8,7 @@ import (
 
 // transShapes covers the degenerate and threshold-straddling cases: single
 // rows/columns, inner dimension 1, and products on either side of
-// parallelThreshold so both the serial and parallel kernels are exercised.
+// the pool split threshold (parallel.DefaultMinWork) so both the serial and parallel kernels are exercised.
 var transShapes = []struct{ m, k, n int }{
 	{1, 1, 1},
 	{1, 7, 5},
@@ -17,9 +17,9 @@ var transShapes = []struct{ m, k, n int }{
 	{3, 4, 5},
 	{8, 8, 8},
 	{13, 17, 19},
-	{32, 32, 32},  // m*k*n = 32768, below parallelThreshold
-	{40, 41, 42},  // 68880, just above parallelThreshold
-	{64, 64, 64},  // well above parallelThreshold
+	{32, 32, 32},  // m*k*n = 32768, below the split threshold
+	{40, 41, 42},  // 68880, just above the split threshold
+	{64, 64, 64},  // well above the split threshold
 	{1, 300, 300}, // above threshold but m==1 forces the serial path
 }
 
