@@ -10,9 +10,13 @@
 #   make parallel   - compute-pool guards: pool invariants plus the
 #                     serial-vs-parallel bit-identity property tests,
 #                     under -race
+#   make telemetry  - observability guards: registry/event-log/admin tests
+#                     under -race (including the rejoin log-serialization
+#                     hammer), the /metrics golden test, the instrument
+#                     zero-alloc guard, and the /healthz e2e
 #   make check      - everything above
-#   make fuzz       - short fuzz pass over the wire-protocol decoder and
-#                     the update screen
+#   make fuzz       - short fuzz pass over the wire-protocol decoder, the
+#                     update screen, and the /healthz JSON round trip
 #   make bench      - kernel + per-layer hot-path microbenchmarks
 #   make bench-json - rerun the tracked hot-path suite, updating
 #                     BENCH_hotpath.json (baseline section is preserved)
@@ -22,7 +26,7 @@
 
 GO ?= go
 
-.PHONY: verify vet race adversary alloc parallel check fuzz bench bench-json bench-scaling
+.PHONY: verify vet race adversary alloc parallel telemetry check fuzz bench bench-json bench-scaling
 
 verify:
 	$(GO) build ./...
@@ -46,7 +50,13 @@ parallel:
 	$(GO) test -race ./internal/parallel/
 	$(GO) test -race ./internal/tensor/ ./internal/nn/ ./internal/fl/ ./internal/bench/ -run 'BitIdentical|TestFinalizeClientsFirstErrorWins|TestCheckParallelDeterminism'
 
-check: verify vet race adversary alloc parallel
+telemetry:
+	$(GO) test -race ./internal/telemetry/
+	$(GO) test -race ./internal/flnet/ -run 'TestLogfSerializedUnderRejoinHammer|TestServerHealthSnapshot'
+	$(GO) test ./internal/telemetry/ -run TestHotPathAllocFree -v
+	$(GO) test . -run TestObservabilityEndToEnd -v
+
+check: verify vet race adversary alloc parallel telemetry
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/tensor/ ./internal/nn/
@@ -60,3 +70,4 @@ bench-scaling:
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadMessage -fuzztime=30s ./internal/flnet/
 	$(GO) test -run=NONE -fuzz=FuzzScreen -fuzztime=30s ./internal/fl/
+	$(GO) test -run=NONE -fuzz=FuzzHealthJSON -fuzztime=30s ./internal/telemetry/

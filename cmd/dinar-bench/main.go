@@ -79,6 +79,8 @@ func run(args []string) error {
 		if rep.Note != "" {
 			fmt.Println("note:", rep.Note)
 		}
+		fmt.Println()
+		fmt.Print(rep.MarkdownTable())
 		if *jsonPath != "" {
 			if err := bench.WriteScaling(*jsonPath, rep); err != nil {
 				return err

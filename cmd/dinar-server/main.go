@@ -55,6 +55,8 @@ func run(args []string) error {
 		noScreen   = fs.Bool("no-screen", false, "disable the Byzantine update screen (shape/NaN validation, rejection, quarantine)")
 		clipNorms  = fs.Bool("clip-norms", false, "additionally clip oversized update deltas to a running median-of-norms bound")
 		quarantine = fs.Int("quarantine-rounds", 0, "rounds a poisoning client stays excluded after rejection (0 = default 3, negative disables)")
+
+		adminAddr = fs.String("admin-addr", "", "HTTP observability listen address serving /metrics, /healthz, and /debug/pprof/ (empty disables; \":0\" for an ephemeral port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +80,7 @@ func run(args []string) error {
 		NoScreen:         *noScreen,
 		ClipNorms:        *clipNorms,
 		QuarantineRounds: *quarantine,
+		AdminAddr:        *adminAddr,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
@@ -87,6 +90,9 @@ func run(args []string) error {
 	}
 	fmt.Printf("dinar-server: listening on %s (dataset=%s defense=%s clients=%d rounds=%d)\n",
 		srv.Addr(), *dataset, *def, *clients, *rounds)
+	if a := srv.AdminAddr(); a != "" {
+		fmt.Printf("dinar-server: observability on http://%s (/metrics /healthz /debug/pprof/)\n", a)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -238,11 +238,16 @@ func (s *System) EvaluatePrivacy(ctx context.Context) (*PrivacyReport, error) {
 	return &PrivacyReport{GlobalAUC: global, LocalAUC: local}, nil
 }
 
-// CostReport summarizes measured costs (Table 3's metrics).
+// CostReport summarizes measured costs (Table 3's metrics). The heap peaks
+// are process-global samples (see metrics.CostMeter): with parallel clients
+// the train-phase peak includes concurrently training siblings, so the
+// per-phase split is an upper bound per phase, not a per-client figure.
 type CostReport struct {
 	MeanClientTrain time.Duration
 	MeanServerAgg   time.Duration
 	PeakAllocBytes  uint64
+	PeakTrainBytes  uint64
+	PeakAggBytes    uint64
 	DefenseBytes    uint64
 }
 
@@ -253,6 +258,8 @@ func (s *System) Costs() CostReport {
 		MeanClientTrain: r.MeanClientTrain,
 		MeanServerAgg:   r.MeanServerAgg,
 		PeakAllocBytes:  r.PeakAllocBytes,
+		PeakTrainBytes:  r.PeakTrainBytes,
+		PeakAggBytes:    r.PeakAggBytes,
 		DefenseBytes:    r.DefenseBytes,
 	}
 }

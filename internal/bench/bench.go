@@ -16,6 +16,8 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/experiment"
@@ -61,6 +63,11 @@ type ScalingResult struct {
 	// perfect linear scaling).
 	Speedup    float64 `json:"speedup"`
 	Efficiency float64 `json:"efficiency"`
+	// Degenerate marks a measurement taken with GOMAXPROCS above the
+	// host's CPU count (e.g. the whole default sweep on a 1-CPU host):
+	// it measures scheduling overhead, not parallel speedup, and summary
+	// tables skip it.
+	Degenerate bool `json:"degenerate,omitempty"`
 }
 
 // ScalingReport records one GOMAXPROCS sweep of the hot-path suite.
@@ -74,6 +81,39 @@ type ScalingReport struct {
 	// Results maps benchmark name to its per-CPU-count measurements,
 	// ordered as CPUCounts.
 	Results map[string][]ScalingResult `json:"results"`
+}
+
+// MarkdownTable renders the sweep as a README-ready markdown table, one row
+// per benchmark × CPU count. Degenerate rows (GOMAXPROCS above the host's
+// CPU count) are skipped: their "speedup" is scheduling overhead, and on a
+// 1-CPU host the entire default sweep beyond GOMAXPROCS=1 is degenerate. A
+// trailing note reports how many rows were dropped so the omission is
+// visible rather than silent.
+func (r *ScalingReport) MarkdownTable() string {
+	var b strings.Builder
+	b.WriteString("| benchmark | GOMAXPROCS | ns/op | speedup | efficiency |\n")
+	b.WriteString("| --- | ---: | ---: | ---: | ---: |\n")
+	names := make([]string, 0, len(r.Results))
+	for name := range r.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	skipped := 0
+	for _, name := range names {
+		for _, res := range r.Results[name] {
+			if res.Degenerate {
+				skipped++
+				continue
+			}
+			fmt.Fprintf(&b, "| %s | %d | %d | %.2fx | %.0f%% |\n",
+				name, res.GOMAXPROCS, res.NsPerOp, res.Speedup, res.Efficiency*100)
+		}
+	}
+	if skipped > 0 {
+		fmt.Fprintf(&b, "\n%d oversubscribed measurement(s) (GOMAXPROCS > %d host CPUs) omitted — they measure scheduling overhead, not speedup.\n",
+			skipped, r.HostCPUs)
+	}
+	return b.String()
 }
 
 // File is the on-disk layout of BENCH_hotpath.json: the current snapshot, a

@@ -90,6 +90,7 @@ func RunScaling(counts []int, logf func(format string, args ...any)) (*ScalingRe
 				GOMAXPROCS: p,
 				NsPerOp:    r.NsPerOp(),
 				Iterations: r.N,
+				Degenerate: p > rep.HostCPUs,
 			})
 			if logf != nil {
 				logf("  %-28s %12d ns/op\n", e.name, r.NsPerOp())

@@ -21,6 +21,12 @@ type CostRow struct {
 	ServerAgg time.Duration
 	// DefenseBytes is the defense-attributed extra buffer memory.
 	DefenseBytes uint64
+	// PeakTrainBytes / PeakAggBytes are the peak heap-in-use sampled
+	// during client training and server aggregation respectively. Both
+	// are process-global (they include concurrently training siblings —
+	// see metrics.CostMeter), so they are upper bounds per phase, not
+	// per-client measurements.
+	PeakTrainBytes, PeakAggBytes uint64
 	// TrainOverheadPct / AggOverheadPct are relative to the no-defense
 	// baseline, as the paper reports them.
 	TrainOverheadPct, AggOverheadPct float64
@@ -51,10 +57,12 @@ func Table3(ctx context.Context, o Options, dataset string, defenses []string) (
 		}
 		rep := run.Sys.Meter.Report()
 		row := CostRow{
-			Defense:      dname,
-			ClientTrain:  rep.MeanClientTrain,
-			ServerAgg:    rep.MeanServerAgg,
-			DefenseBytes: rep.DefenseBytes,
+			Defense:        dname,
+			ClientTrain:    rep.MeanClientTrain,
+			ServerAgg:      rep.MeanServerAgg,
+			DefenseBytes:   rep.DefenseBytes,
+			PeakTrainBytes: rep.PeakTrainBytes,
+			PeakAggBytes:   rep.PeakAggBytes,
 		}
 		if dname == "none" {
 			baseTrain, baseAgg = rep.MeanClientTrain, rep.MeanServerAgg
@@ -73,10 +81,12 @@ func Table3(ctx context.Context, o Options, dataset string, defenses []string) (
 // Table renders the cost comparison.
 func (r *Table3Result) Table() *metrics.Table {
 	t := metrics.NewTable("Table 3: overhead of FL defense mechanisms vs baseline — "+r.Dataset,
-		"Defense", "Client train/round", "Train overhead (%)", "Server agg", "Agg overhead (%)", "Defense buffers (KiB)")
+		"Defense", "Client train/round", "Train overhead (%)", "Server agg", "Agg overhead (%)", "Defense buffers (KiB)",
+		"Peak train heap (MiB)", "Peak agg heap (MiB)")
 	for _, row := range r.Rows {
 		t.AddRow(row.Defense, row.ClientTrain.Round(time.Microsecond), row.TrainOverheadPct,
-			row.ServerAgg.Round(time.Microsecond), row.AggOverheadPct, float64(row.DefenseBytes)/1024)
+			row.ServerAgg.Round(time.Microsecond), row.AggOverheadPct, float64(row.DefenseBytes)/1024,
+			float64(row.PeakTrainBytes)/(1024*1024), float64(row.PeakAggBytes)/(1024*1024))
 	}
 	return t
 }

@@ -125,9 +125,11 @@ func (c *Client) RunRound(round int, globalState []float64, def Defense, meter *
 		NumSamples: c.Data.Len(),
 	}
 	def.BeforeUpload(round, globalState, u)
+	elapsed := time.Since(start)
+	telClientTrainSeconds.Observe(elapsed.Seconds())
 	if meter != nil {
-		meter.AddClientTrain(time.Since(start))
-		meter.SampleMemory()
+		meter.AddClientTrain(elapsed)
+		meter.SamplePhase(metrics.PhaseTrain)
 	}
 	return u, nil
 }

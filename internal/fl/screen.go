@@ -220,6 +220,17 @@ func (s *Screen) Apply(round int, prevGlobal []float64, updates []*Update) ([]*U
 		kept = append(kept, u)
 		report.Accepted = append(report.Accepted, u.ClientID)
 	}
+	telScreenAccepted.Add(int64(len(report.Accepted)))
+	telScreenRejected.Add(int64(len(report.Rejected)))
+	telScreenClipped.Add(int64(len(report.Clipped)))
+	telScreenQuarantined.Add(int64(len(report.Quarantined)))
+	occupancy := 0
+	for _, until := range s.blockedUntil {
+		if round <= until {
+			occupancy++
+		}
+	}
+	telQuarantineOccupancy.Set(int64(occupancy))
 	return kept, report
 }
 

@@ -17,6 +17,15 @@ type Server struct {
 
 	screen        *Screen
 	screenReports []ScreenReport
+	lastTiming    AggTiming
+}
+
+// AggTiming is the phase breakdown of one Aggregate call.
+type AggTiming struct {
+	// Screen is the update-screen duration (zero without a screen).
+	Screen time.Duration
+	// Aggregate is the defense's aggregation-rule duration.
+	Aggregate time.Duration
 }
 
 // NewServer returns a server whose initial global state is a copy of initial.
@@ -85,8 +94,12 @@ func (s *Server) Aggregate(updates []*Update) error {
 	if len(updates) == 0 {
 		return fmt.Errorf("fl: round %d received no updates", s.round)
 	}
+	s.lastTiming = AggTiming{}
 	if s.screen != nil {
+		screenStart := time.Now()
 		kept, report := s.screen.Apply(s.round, s.state, updates)
+		s.lastTiming.Screen = time.Since(screenStart)
+		telScreenSeconds.Observe(s.lastTiming.Screen.Seconds())
 		s.screenReports = append(s.screenReports, report)
 		if len(kept) == 0 {
 			return fmt.Errorf("fl: round %d: no updates survived screening (%d rejected, %d quarantined)",
@@ -109,10 +122,18 @@ func (s *Server) Aggregate(updates []*Update) error {
 	if len(next) != len(s.state) {
 		return fmt.Errorf("fl: defense %q returned %d values, want %d", s.def.Name(), len(next), len(s.state))
 	}
+	s.lastTiming.Aggregate = time.Since(start)
+	telAggregateSeconds.Observe(s.lastTiming.Aggregate.Seconds())
+	telRoundsAggregated.Inc()
 	if s.meter != nil {
-		s.meter.AddServerAgg(time.Since(start))
+		s.meter.AddServerAgg(s.lastTiming.Aggregate)
+		s.meter.SamplePhase(metrics.PhaseAggregate)
 	}
 	s.state = next
 	s.round++
 	return nil
 }
+
+// LastAggTiming returns the phase breakdown of the most recent Aggregate
+// call (screening vs the defense's aggregation rule).
+func (s *Server) LastAggTiming() AggTiming { return s.lastTiming }

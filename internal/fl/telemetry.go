@@ -1,0 +1,30 @@
+package fl
+
+import (
+	"repro/internal/telemetry"
+)
+
+// FL-core telemetry: client train durations, screen verdicts, quarantine
+// occupancy, and the server's screen/aggregate phase timings. All
+// instruments live in the process-wide default registry and are served by
+// the dinar-server admin listener's /metrics endpoint.
+var (
+	telClientTrainSeconds = telemetry.NewHistogram("dinar_fl_client_train_seconds",
+		"one client's local-training duration for one round", nil)
+	telScreenSeconds = telemetry.NewHistogram("dinar_fl_screen_seconds",
+		"per-round update-screen duration on the server", nil)
+	telAggregateSeconds = telemetry.NewHistogram("dinar_fl_aggregate_seconds",
+		"per-round defense-aggregation duration on the server", nil)
+	telRoundsAggregated = telemetry.NewCounter("dinar_fl_rounds_aggregated_total",
+		"rounds the FL core aggregated successfully")
+	telScreenAccepted = telemetry.NewCounter("dinar_fl_screen_accepted_total",
+		"updates that passed the Byzantine screen (clipped ones included)")
+	telScreenRejected = telemetry.NewCounter("dinar_fl_screen_rejected_total",
+		"updates the Byzantine screen rejected")
+	telScreenClipped = telemetry.NewCounter("dinar_fl_screen_clipped_total",
+		"updates whose deltas the screen norm-clipped")
+	telScreenQuarantined = telemetry.NewCounter("dinar_fl_screen_quarantined_total",
+		"updates dropped because the sender was serving a quarantine penalty")
+	telQuarantineOccupancy = telemetry.NewGauge("dinar_fl_quarantine_occupancy",
+		"clients currently serving a quarantine penalty")
+)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/fl"
+	"repro/internal/telemetry"
 )
 
 // ClientConfig configures a middleware client process.
@@ -68,9 +69,14 @@ func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
 	if cfg.BaseBackoff == 0 {
 		cfg.BaseBackoff = 100 * time.Millisecond
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	// Route progress lines through a serialized event log so clients
+	// sharing one process (tests, simulations) never interleave output.
+	logf := cfg.Logf
+	var sink func(line string)
+	if logf != nil {
+		sink = func(line string) { logf("%s", line) }
 	}
+	events := telemetry.NewEventLog(16, sink)
 	// Deterministic per-client jitter keeps test runs reproducible while
 	// still decorrelating real clients' retry storms.
 	rng := rand.New(rand.NewSource(int64(cfg.Trainer.ID)*2654435761 + 1))
@@ -99,7 +105,8 @@ func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
 			backoff = defaultMaxBackoff
 		}
 		sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
-		cfg.Logf("flnet: client %d retry %d/%d in %s after: %v",
+		telClientReconnects.Inc()
+		events.Eventf(-1, cfg.Trainer.ID, "flnet: client %d retry %d/%d in %s after: %v",
 			cfg.Trainer.ID, failures, cfg.MaxRetries, sleep, err.err)
 		timer := time.NewTimer(sleep)
 		select {

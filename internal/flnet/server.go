@@ -13,6 +13,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/fl"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // ServerConfig configures the middleware server.
@@ -72,8 +73,31 @@ type ServerConfig struct {
 	Listener net.Listener
 	// Meter records aggregation costs (optional).
 	Meter *metrics.CostMeter
-	// Logf receives progress lines (optional).
+	// Logf receives progress lines (optional). Every call site is routed
+	// through one serialized event log, so Logf is never invoked
+	// concurrently and always receives one whole line per call — the
+	// rejoin acceptor, per-client round goroutines, and the round loop
+	// can no longer interleave output mid-line.
 	Logf func(format string, args ...any)
+	// EventCapacity bounds the in-memory ring of recent structured
+	// events (Events method). 0 means 256.
+	EventCapacity int
+}
+
+// RoundTiming is the per-phase wall-time breakdown of one round.
+type RoundTiming struct {
+	// Broadcast is the slowest single global-state send of the round —
+	// the broadcast phase's critical path (sends run per client,
+	// concurrently).
+	Broadcast time.Duration
+	// Wait spans the round's start to its quorum decision: client
+	// training plus update collection.
+	Wait time.Duration
+	// Screen is the server-side update-screen duration (zero when
+	// screening is disabled).
+	Screen time.Duration
+	// Aggregate is the defense's aggregation-rule duration.
+	Aggregate time.Duration
 }
 
 // RoundReport records one round's cohort outcome.
@@ -100,6 +124,8 @@ type RoundReport struct {
 	// Err joins the errors of every failed client in the round; it may be
 	// non-nil even when the round aggregated successfully with a quorum.
 	Err error
+	// Timing is the round's per-phase wall-time breakdown.
+	Timing RoundTiming
 }
 
 // Server is the TCP federated-learning middleware server.
@@ -110,10 +136,20 @@ type Server struct {
 	core       *fl.Server
 	startRound int
 
+	// events serializes every log line and retains recent structured
+	// events; all former cfg.Logf call sites route through it.
+	events *telemetry.EventLog
+
 	mu      sync.Mutex
 	live    map[int]*session
 	rejects int
 	reports []RoundReport
+	// curRound is the round currently being orchestrated; ckptRound the
+	// last persisted checkpoint (-1 before the first); status the
+	// /healthz lifecycle phase.
+	curRound  int
+	ckptRound int
+	status    string
 
 	// joinCh delivers sessions registered by the background acceptor to
 	// the round loop; runDone unblocks the acceptor when Run returns.
@@ -145,9 +181,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MaxRejects == 0 {
 		cfg.MaxRejects = 2*cfg.NumClients + 8
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.EventCapacity == 0 {
+		cfg.EventCapacity = 256
 	}
+	// Every log line funnels through one serialized event log; the
+	// user-supplied sink (if any) is invoked under its mutex and always
+	// receives complete lines.
+	var sink func(line string)
+	if logf := cfg.Logf; logf != nil {
+		sink = func(line string) { logf("%s", line) }
+	}
+	events := telemetry.NewEventLog(cfg.EventCapacity, sink)
 
 	state := cfg.InitialState
 	startRound := 0
@@ -167,7 +211,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			}
 			state = snap.State
 			startRound = snap.Round
-			cfg.Logf("flnet: resuming from checkpoint %s at round %d", cfg.CheckpointPath, startRound)
+			events.Eventf(startRound, -1, "flnet: resuming from checkpoint %s at round %d", cfg.CheckpointPath, startRound)
 		}
 	}
 
@@ -192,10 +236,41 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		ln:         ln,
 		core:       core,
 		startRound: startRound,
+		events:     events,
 		live:       make(map[int]*session, cfg.NumClients),
+		curRound:   startRound,
+		ckptRound:  -1,
+		status:     "waiting",
 		joinCh:     make(chan *session, cfg.NumClients),
 		runDone:    make(chan struct{}),
 	}, nil
+}
+
+// logf records one structured, serialized log event; round/client are -1
+// when not applicable.
+func (s *Server) logf(round, client int, format string, args ...any) {
+	s.events.Eventf(round, client, format, args...)
+}
+
+// Events returns the most recent structured log events, oldest first.
+func (s *Server) Events() []telemetry.Event { return s.events.Events() }
+
+// Health returns the server's /healthz snapshot: lifecycle status, the
+// round being orchestrated, live vs configured client counts, and the
+// last checkpointed round.
+func (s *Server) Health() telemetry.Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return telemetry.Health{
+		Status:            s.status,
+		Round:             s.curRound,
+		Rounds:            s.cfg.Rounds,
+		RegisteredClients: len(s.live),
+		NumClients:        s.cfg.NumClients,
+		MinClients:        s.cfg.MinClients,
+		StartRound:        s.startRound,
+		CheckpointRound:   s.ckptRound,
+	}
 }
 
 // Addr returns the bound listen address.
@@ -258,6 +333,11 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 	go s.acceptRejoins(ctx)
 
 	for round := s.startRound; round < s.cfg.Rounds; round++ {
+		s.mu.Lock()
+		s.curRound = round
+		s.status = "running"
+		s.mu.Unlock()
+		telRoundsStarted.Inc()
 		updates, report, err := s.runRound(ctx, round)
 		if err != nil {
 			s.mu.Lock()
@@ -270,6 +350,9 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		// checkpoint resume).
 		sort.Slice(updates, func(i, j int) bool { return updates[i].ClientID < updates[j].ClientID })
 		aggErr := s.core.Aggregate(updates)
+		agg := s.core.LastAggTiming()
+		report.Timing.Screen = agg.Screen
+		report.Timing.Aggregate = agg.Aggregate
 		s.applyScreenOutcome(round, &report)
 		s.mu.Lock()
 		s.reports = append(s.reports, report)
@@ -277,6 +360,7 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		if aggErr != nil {
 			return nil, aggErr
 		}
+		telRoundsCompleted.Inc()
 		if s.cfg.CheckpointPath != "" {
 			snap := &checkpoint.Snapshot{
 				Dataset: s.cfg.Dataset,
@@ -286,9 +370,19 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 			if err := checkpoint.SaveFile(s.cfg.CheckpointPath, snap); err != nil {
 				return nil, fmt.Errorf("flnet: round %d: %w", round, err)
 			}
+			s.mu.Lock()
+			s.ckptRound = s.core.Round()
+			s.mu.Unlock()
 		}
-		s.cfg.Logf("flnet: round %d aggregated %d updates (dropped %d)", round, len(report.Participants), len(report.Dropped))
+		s.logf(round, -1, "flnet: round %d aggregated %d updates (dropped %d) [broadcast %s wait %s screen %s aggregate %s]",
+			round, len(report.Participants), len(report.Dropped),
+			report.Timing.Broadcast.Round(time.Microsecond), report.Timing.Wait.Round(time.Microsecond),
+			report.Timing.Screen.Round(time.Microsecond), report.Timing.Aggregate.Round(time.Microsecond))
 	}
+	s.mu.Lock()
+	s.curRound = s.cfg.Rounds
+	s.status = "done"
+	s.mu.Unlock()
 
 	final := s.core.GlobalState()
 	s.mu.Lock()
@@ -307,7 +401,7 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		}
 	}
 	if len(doneErrs) > 0 {
-		s.cfg.Logf("flnet: done broadcast: %v", errors.Join(doneErrs...))
+		s.logf(s.cfg.Rounds, -1, "flnet: done broadcast: %v", errors.Join(doneErrs...))
 	}
 	return final, nil
 }
@@ -336,7 +430,7 @@ func (s *Server) acceptCohort(ctx context.Context) error {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
 				if registered >= s.cfg.MinClients {
-					s.cfg.Logf("flnet: registration deadline passed; starting with %d/%d clients", registered, s.cfg.NumClients)
+					s.logf(-1, -1, "flnet: registration deadline passed; starting with %d/%d clients", registered, s.cfg.NumClients)
 					return nil
 				}
 				return fmt.Errorf("flnet: only %d/%d clients registered within %s (quorum %d)",
@@ -366,7 +460,8 @@ func (s *Server) register(conn net.Conn) (*session, error) {
 		s.rejects++
 		tooMany := s.rejects > s.cfg.MaxRejects
 		s.mu.Unlock()
-		s.cfg.Logf("flnet: rejected registrant from %v: %s", conn.RemoteAddr(), reason)
+		telRegistrationsRejected.Inc()
+		s.logf(-1, -1, "flnet: rejected registrant from %v: %s", conn.RemoteAddr(), reason)
 		if tooMany {
 			return fmt.Errorf("%w (%d)", errTooManyRejects, s.cfg.MaxRejects)
 		}
@@ -391,6 +486,7 @@ func (s *Server) register(conn net.Conn) (*session, error) {
 	}
 	sess := &session{conn: conn, clientID: msg.ClientID, lastRound: msg.LastRound}
 	s.live[msg.ClientID] = sess
+	telLiveClients.Set(int64(len(s.live)))
 	s.mu.Unlock()
 	return sess, nil
 }
@@ -407,12 +503,13 @@ func (s *Server) acceptRejoins(ctx context.Context) {
 		sess, err := s.register(conn)
 		if err != nil {
 			if errors.Is(err, errTooManyRejects) {
-				s.cfg.Logf("flnet: rejoin acceptor stopping: %v", err)
+				s.logf(-1, -1, "flnet: rejoin acceptor stopping: %v", err)
 				return
 			}
 			continue
 		}
-		s.cfg.Logf("flnet: client %d rejoined (last completed round %d)", sess.clientID, sess.lastRound)
+		telRejoins.Inc()
+		s.logf(-1, sess.clientID, "flnet: client %d rejoined (last completed round %d)", sess.clientID, sess.lastRound)
 		select {
 		case s.joinCh <- sess:
 		case <-s.runDone:
@@ -430,6 +527,9 @@ type result struct {
 	sess *session
 	u    *fl.Update
 	err  error
+	// sendDur is how long the global-state send took; the round's
+	// broadcast critical path is the max over its cohort.
+	sendDur time.Duration
 }
 
 // runRound broadcasts the global state and collects updates until every
@@ -439,6 +539,7 @@ type result struct {
 func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundReport, error) {
 	global := s.core.GlobalState()
 	report := RoundReport{Round: round}
+	roundStart := time.Now()
 
 	results := make(chan result, s.cfg.NumClients)
 	included := make(map[*session]bool)
@@ -448,8 +549,8 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 		included[sess] = true
 		pending++
 		go func() {
-			u, err := s.exchange(sess, round, global)
-			results <- result{sess: sess, u: u, err: err}
+			u, sendDur, err := s.exchange(sess, round, global)
+			results <- result{sess: sess, u: u, err: err, sendDur: sendDur}
 		}()
 	}
 
@@ -479,9 +580,11 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 		s.mu.Lock()
 		if s.live[sess.clientID] == sess {
 			delete(s.live, sess.clientID)
+			telLiveClients.Set(int64(len(s.live)))
 		}
 		s.mu.Unlock()
 		sess.conn.Close()
+		telClientsEvicted.Inc()
 		report.Dropped = append(report.Dropped, sess.clientID)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("client %d: %w", sess.clientID, err))
@@ -520,11 +623,15 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 					}
 				}
 				if !done {
+					telStragglersEvicted.Inc()
 					evict(sess, fmt.Errorf("no update within round deadline %s", s.cfg.RoundDeadline))
 				}
 			}
 			reap(pending)
 		}
+		report.Timing.Wait = time.Since(roundStart)
+		telRoundBroadcastSeconds.Observe(report.Timing.Broadcast.Seconds())
+		telRoundWaitSeconds.Observe(report.Timing.Wait.Seconds())
 		report.Err = errors.Join(errs...)
 		return updates, report, nil
 	}
@@ -549,6 +656,9 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 			return nil, report, ctx.Err()
 		case res := <-results:
 			pending--
+			if res.sendDur > report.Timing.Broadcast {
+				report.Timing.Broadcast = res.sendDur
+			}
 			if res.err != nil {
 				evict(res.sess, res.err)
 			} else {
@@ -611,54 +721,60 @@ func (s *Server) applyScreenOutcome(round int, report *RoundReport) {
 		sess := s.live[v.ClientID]
 		if sess != nil {
 			delete(s.live, v.ClientID)
+			telLiveClients.Set(int64(len(s.live)))
 		}
 		s.mu.Unlock()
 		if sess != nil {
 			sess.conn.Close()
+			telClientsEvicted.Inc()
 			report.Dropped = append(report.Dropped, v.ClientID)
-			s.cfg.Logf("flnet: round %d: evicted client %d: %s", round, v.ClientID, v.Reason)
+			s.logf(round, v.ClientID, "flnet: round %d: evicted client %d: %s", round, v.ClientID, v.Reason)
 		}
 	}
 	if len(rep.NewlyQuarantined) > 0 {
-		s.cfg.Logf("flnet: round %d: quarantined clients %v", round, rep.NewlyQuarantined)
+		s.logf(round, -1, "flnet: round %d: quarantined clients %v", round, rep.NewlyQuarantined)
 	}
 }
 
 // exchange sends the round's global state and reads the client's update.
-func (s *Server) exchange(sess *session, round int, global []float64) (*fl.Update, error) {
+// sendDur is how long the send took (valid even on a failed exchange, as
+// long as the send itself completed).
+func (s *Server) exchange(sess *session, round int, global []float64) (u *fl.Update, sendDur time.Duration, err error) {
+	sendStart := time.Now()
 	if err := s.send(sess, &Message{Kind: KindGlobal, Round: round, State: global}); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	sendDur = time.Since(sendStart)
 	sess.conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
 	msg, err := ReadMessage(sess.conn)
 	if err != nil {
-		return nil, err
+		return nil, sendDur, err
 	}
 	switch msg.Kind {
 	case KindUpdate:
 	case KindError:
-		return nil, fmt.Errorf("client reported: %s", msg.Err)
+		return nil, sendDur, fmt.Errorf("client reported: %s", msg.Err)
 	default:
-		return nil, fmt.Errorf("unexpected %v frame", msg.Kind)
+		return nil, sendDur, fmt.Errorf("unexpected %v frame", msg.Kind)
 	}
 	if msg.Round != round {
-		return nil, fmt.Errorf("update for round %d during round %d", msg.Round, round)
+		return nil, sendDur, fmt.Errorf("update for round %d during round %d", msg.Round, round)
 	}
 	// Structural wire validation: a mis-sized vector or negative weight can
 	// only come from a broken or malicious peer; fail the exchange (and
 	// evict) instead of letting it reach the aggregation path.
 	if len(msg.State) != len(global) {
-		return nil, fmt.Errorf("update state has %d values, want %d", len(msg.State), len(global))
+		return nil, sendDur, fmt.Errorf("update state has %d values, want %d", len(msg.State), len(global))
 	}
 	if msg.NumSamples < 0 {
-		return nil, fmt.Errorf("update carries negative sample count %d", msg.NumSamples)
+		return nil, sendDur, fmt.Errorf("update carries negative sample count %d", msg.NumSamples)
 	}
 	return &fl.Update{
 		ClientID:   sess.clientID,
 		Round:      msg.Round,
 		State:      msg.State,
 		NumSamples: msg.NumSamples,
-	}, nil
+	}, sendDur, nil
 }
 
 func (s *Server) send(sess *session, msg *Message) error {

@@ -1,0 +1,32 @@
+package flnet
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Network-layer telemetry: round lifecycle counters, per-phase round
+// timing, and registration/rejoin accounting. The wire byte/frame
+// counters live in wire.go next to the codec.
+var (
+	telRoundsStarted = telemetry.NewCounter("dinar_flnet_rounds_started_total",
+		"FL rounds the server began orchestrating")
+	telRoundsCompleted = telemetry.NewCounter("dinar_flnet_rounds_completed_total",
+		"FL rounds that aggregated successfully")
+	telStragglersEvicted = telemetry.NewCounter("dinar_flnet_stragglers_evicted_total",
+		"clients evicted for missing the round deadline")
+	telClientsEvicted = telemetry.NewCounter("dinar_flnet_clients_evicted_total",
+		"clients evicted for any reason (stragglers, dead connections, screen rejections)")
+	telRejoins = telemetry.NewCounter("dinar_flnet_rejoins_total",
+		"clients re-registered after the initial cohort formed")
+	telRegistrationsRejected = telemetry.NewCounter("dinar_flnet_registrations_rejected_total",
+		"registration attempts rejected (malformed hello, version mismatch, duplicate id)")
+	telLiveClients = telemetry.NewGauge("dinar_flnet_live_clients",
+		"currently registered client sessions")
+	telClientReconnects = telemetry.NewCounter("dinar_flnet_client_reconnects_total",
+		"reconnection attempts made by flnet clients in this process")
+
+	telRoundBroadcastSeconds = telemetry.NewHistogram("dinar_flnet_round_broadcast_seconds",
+		"slowest global-state send of the round (the broadcast critical path)", nil)
+	telRoundWaitSeconds = telemetry.NewHistogram("dinar_flnet_round_wait_seconds",
+		"round start to quorum decision (training + collection wall time)", nil)
+)

@@ -27,6 +27,17 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Wire telemetry: frames and bytes in each direction, counted at the
+// codec so every caller (server, client, tests) is covered.
+var (
+	telTxFrames = telemetry.NewCounter("dinar_wire_tx_frames_total", "protocol frames written")
+	telRxFrames = telemetry.NewCounter("dinar_wire_rx_frames_total", "protocol frames read")
+	telTxBytes  = telemetry.NewCounter("dinar_wire_tx_bytes_total", "bytes written to the wire (headers included)")
+	telRxBytes  = telemetry.NewCounter("dinar_wire_rx_bytes_total", "bytes read from the wire (headers included)")
 )
 
 // ProtocolVersion is the wire protocol version carried in every Hello
@@ -113,6 +124,8 @@ func WriteMessage(w io.Writer, msg *Message) error {
 	if _, err := w.Write(frame); err != nil {
 		return fmt.Errorf("flnet: write payload: %w", err)
 	}
+	telTxFrames.Inc()
+	telTxBytes.Add(int64(len(frame)))
 	return nil
 }
 
@@ -141,5 +154,7 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&msg); err != nil {
 		return nil, fmt.Errorf("flnet: decode: %w", err)
 	}
+	telRxFrames.Inc()
+	telRxBytes.Add(int64(n) + 4)
 	return &msg, nil
 }

@@ -4,18 +4,55 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Phase labels a memory sampling point in the round pipeline.
+type Phase int
+
+const (
+	// PhaseTrain samples are taken right after one client's local
+	// training (plus its client-side defense work).
+	PhaseTrain Phase = iota
+	// PhaseAggregate samples are taken right after the server's
+	// defense-aggregation step.
+	PhaseAggregate
+	numPhases
+)
+
+// Heap telemetry: the latest sampled heap-in-use plus per-phase
+// high-water marks, exposed on /metrics so a live federation's memory can
+// be watched without a CostMeter.
+var (
+	telHeapInuse = telemetry.NewGauge("dinar_heap_inuse_bytes",
+		"heap in use at the most recent cost-meter sample (process-global)")
+	telHeapPeakTrain = telemetry.NewGauge("dinar_heap_train_peak_bytes",
+		"peak heap in use sampled at client-training points (process-global)")
+	telHeapPeakAgg = telemetry.NewGauge("dinar_heap_aggregate_peak_bytes",
+		"peak heap in use sampled at server-aggregation points (process-global)")
 )
 
 // CostMeter accumulates the cost metrics of the paper's Table 3: client-side
 // training duration per FL round, server-side aggregation duration, and peak
-// memory in use during client work. It is safe for concurrent use (clients
-// train in parallel goroutines).
+// memory in use. It is safe for concurrent use (clients train in parallel
+// goroutines).
+//
+// Memory attribution caveat: every sample reads runtime.MemStats.HeapInuse,
+// which is process-global. With parallel clients a train-phase sample
+// therefore includes every concurrently-training sibling's buffers, so the
+// per-phase peaks are an upper bound on any single client's footprint, not
+// a per-client measurement — exact per-client attribution is impossible
+// from a shared Go heap. The per-phase split (train vs aggregate) is the
+// finest attribution the process-level counter supports; Table 3 reports
+// it with this caveat documented.
 type CostMeter struct {
 	mu sync.Mutex
 
 	clientTrain []time.Duration
 	serverAgg   []time.Duration
 	peakAllocB  uint64
+	peakPhaseB  [numPhases]uint64
 	extraBytes  uint64 // defense-attributed buffer bytes (noise, masks, ...)
 }
 
@@ -45,18 +82,36 @@ func (c *CostMeter) AddDefenseBytes(n uint64) {
 	c.extraBytes += n
 }
 
-// SampleMemory reads the runtime heap-in-use size and keeps the maximum seen.
-// Call it at memory-intensive points (after local training, after defense
-// application).
-func (c *CostMeter) SampleMemory() {
+// SamplePhase reads the runtime heap-in-use size, attributes the sample to
+// phase, and keeps the per-phase and overall maxima (also mirrored to the
+// telemetry gauges). See the CostMeter doc for the process-global
+// semantics of the sample.
+func (c *CostMeter) SamplePhase(p Phase) {
+	if p < 0 || p >= numPhases {
+		return
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	telHeapInuse.Set(int64(ms.HeapInuse))
+	switch p {
+	case PhaseTrain:
+		telHeapPeakTrain.SetMax(int64(ms.HeapInuse))
+	case PhaseAggregate:
+		telHeapPeakAgg.SetMax(int64(ms.HeapInuse))
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if ms.HeapInuse > c.peakAllocB {
 		c.peakAllocB = ms.HeapInuse
 	}
+	if ms.HeapInuse > c.peakPhaseB[p] {
+		c.peakPhaseB[p] = ms.HeapInuse
+	}
 }
+
+// SampleMemory records a train-phase sample. Kept for callers that predate
+// per-phase attribution; new call sites should use SamplePhase.
+func (c *CostMeter) SampleMemory() { c.SamplePhase(PhaseTrain) }
 
 // CostReport is an immutable snapshot of a CostMeter.
 type CostReport struct {
@@ -64,9 +119,16 @@ type CostReport struct {
 	MeanClientTrain time.Duration
 	// MeanServerAgg is the mean server aggregation duration.
 	MeanServerAgg time.Duration
-	// PeakAllocBytes is the peak sampled heap-in-use.
+	// PeakAllocBytes is the peak sampled heap-in-use across all phases.
+	// Process-global: with parallel clients it includes concurrently
+	// training siblings (see the CostMeter doc).
 	PeakAllocBytes uint64
-	// DefenseBytes is the defense-attributed buffer memory.
+	// PeakTrainBytes / PeakAggBytes split the peak by sampling phase,
+	// with the same process-global caveat.
+	PeakTrainBytes uint64
+	PeakAggBytes   uint64
+	// DefenseBytes is the defense-attributed buffer memory. Unlike the
+	// heap peaks this is exact: defenses account their own allocations.
 	DefenseBytes uint64
 }
 
@@ -78,6 +140,8 @@ func (c *CostMeter) Report() CostReport {
 		MeanClientTrain: meanDuration(c.clientTrain),
 		MeanServerAgg:   meanDuration(c.serverAgg),
 		PeakAllocBytes:  c.peakAllocB,
+		PeakTrainBytes:  c.peakPhaseB[PhaseTrain],
+		PeakAggBytes:    c.peakPhaseB[PhaseAggregate],
 		DefenseBytes:    c.extraBytes,
 	}
 }

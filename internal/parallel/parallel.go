@@ -43,6 +43,20 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Pool telemetry: all three instruments are plain atomic operations, so
+// the instrumented For keeps its zero-allocation steady state (guarded by
+// the alloc tests in internal/nn and internal/telemetry).
+var (
+	telTokensInUse = telemetry.NewGauge("dinar_pool_tokens_in_use",
+		"compute-pool tokens currently held by pooled goroutines")
+	telInlineFallback = telemetry.NewCounter("dinar_pool_inline_fallback_total",
+		"chunks run inline on the caller because the pool was saturated")
+	telChunks = telemetry.NewCounter("dinar_pool_chunks_total",
+		"chunks executed by parallel.For (serial calls count as one chunk)")
 )
 
 // DefaultMinWork is the default minimum number of scalar operations a chunk
@@ -156,9 +170,11 @@ func For(n, grain int, fn func(lo, hi int)) {
 		chunks = p.workers
 	}
 	if chunks <= 1 {
+		telChunks.Inc()
 		fn(0, n)
 		return
 	}
+	telChunks.Add(int64(chunks))
 	per := (n + chunks - 1) / chunks
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += per {
@@ -170,10 +186,12 @@ func For(n, grain int, fn func(lo, hi int)) {
 		}
 		select {
 		case p.tokens <- struct{}{}:
+			telTokensInUse.Add(1)
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer func() {
 					<-p.tokens
+					telTokensInUse.Add(-1)
 					wg.Done()
 				}()
 				fn(lo, hi)
@@ -181,6 +199,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 		default:
 			// Pool saturated (e.g. by other concurrent clients): run the
 			// range inline instead of adding a runnable goroutine.
+			telInlineFallback.Inc()
 			fn(lo, hi)
 		}
 	}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeAdmin spins up an admin server on an ephemeral port and checks
+// all three endpoint families.
+func TestServeAdmin(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("admin_test_total", "t")
+	c.Add(5)
+	want := Health{Status: "running", Round: 2, Rounds: 9, RegisteredClients: 3,
+		NumClients: 3, MinClients: 2, CheckpointRound: -1}
+	a, err := ServeAdmin("127.0.0.1:0", func() Health { return want }, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	base := fmt.Sprintf("http://%s", a.Addr())
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	if !strings.Contains(body, "admin_test_total 5") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body, ctype = get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	if ctype != "application/json" {
+		t.Errorf("/healthz content type %q", ctype)
+	}
+	got, err := DecodeHealth([]byte(body))
+	if err != nil {
+		t.Fatalf("/healthz decode: %v", err)
+	}
+	if got != want {
+		t.Errorf("/healthz = %+v, want %+v", got, want)
+	}
+
+	if code, _, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, _, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestServeAdminNilDefaults: nil health and registry fall back to a zero
+// snapshot and the Default registry instead of crashing.
+func TestServeAdminNilDefaults(t *testing.T) {
+	a, err := ServeAdmin("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", a.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if _, err := DecodeHealth(body); err != nil {
+		t.Fatalf("zero health does not decode: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHealthRoundTrip(t *testing.T) {
+	h := Health{
+		Status:            "running",
+		Round:             3,
+		Rounds:            10,
+		RegisteredClients: 4,
+		NumClients:        5,
+		MinClients:        3,
+		StartRound:        1,
+		CheckpointRound:   2,
+	}
+	data, err := EncodeHealth(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHealth(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v, want %+v", got, h)
+	}
+}
+
+// TestDecodeHealthRejectsUnknownFields: a deployment mismatch must fail
+// loudly instead of silently dropping data.
+func TestDecodeHealthRejectsUnknownFields(t *testing.T) {
+	_, err := DecodeHealth([]byte(`{"status":"running","new_field":1}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("want unknown-field error, got %v", err)
+	}
+}
+
+// FuzzHealthJSON fuzzes the /healthz encoder round trip: every Health that
+// encodes must decode back to itself, and DecodeHealth must never panic on
+// arbitrary bytes.
+func FuzzHealthJSON(f *testing.F) {
+	f.Add("running", 3, 10, 4, 5, 3, 1, 2)
+	f.Add("", -1, 0, 0, 0, 0, 0, -1)
+	f.Add(`weird "status"\n`, 1<<30, -1<<30, 7, 7, 7, 7, 7)
+	f.Fuzz(func(t *testing.T, status string, round, rounds, reg, num, min, start, ckpt int) {
+		// encoding/json coerces invalid UTF-8 to U+FFFD on marshal, so the
+		// identity property only holds for the coerced string.
+		status = strings.ToValidUTF8(status, "�")
+		h := Health{
+			Status:            status,
+			Round:             round,
+			Rounds:            rounds,
+			RegisteredClients: reg,
+			NumClients:        num,
+			MinClients:        min,
+			StartRound:        start,
+			CheckpointRound:   ckpt,
+		}
+		data, err := EncodeHealth(h)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", h, err)
+		}
+		got, err := DecodeHealth(data)
+		if err != nil {
+			t.Fatalf("decode %s: %v", data, err)
+		}
+		if got != h {
+			t.Fatalf("round trip: got %+v, want %+v", got, h)
+		}
+		// Arbitrary mutations must never panic the decoder.
+		if len(data) > 0 {
+			data[len(data)/2] ^= 0x5a
+			_, _ = DecodeHealth(data)
+		}
+	})
+}

@@ -1,0 +1,245 @@
+// Package telemetry is the process-wide runtime observability layer of the
+// DINAR middleware: a metrics registry whose instruments (atomic counters,
+// gauges, fixed-bucket histograms) are allocation-free on the hot path, a
+// serialized structured event log that replaces ad-hoc Logf fan-in, a
+// /healthz snapshot type, and an admin HTTP server exposing it all
+// (Prometheus text format on /metrics, JSON on /healthz, net/http/pprof
+// under /debug/).
+//
+// Instruments are registered once at package init time (registration may
+// allocate); Observe/Add/Set/Inc never do, so the training hot path — which
+// the repository guards at 0 allocs/op in steady state — can be
+// instrumented without losing that property. Every instrument is safe for
+// concurrent use.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is a programming error but is not checked on the hot
+// path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// monotone high-water mark (peak memory, max queue depth).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: cumulative counts per upper
+// bound plus an implicit +Inf bucket, a float sum, and a total count.
+// Observe is lock-free and allocation-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DurationBuckets are the default bounds (in seconds) for phase/latency
+// histograms: 100µs up to 60s.
+var DurationBuckets = []float64{
+	0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60,
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// kind discriminates registered instruments.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+// entry is one registered instrument.
+type entry struct {
+	name string
+	help string
+	k    kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named instruments and renders them in Prometheus text
+// format. The zero value is unusable; use NewRegistry or the package-level
+// Default registry.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// defaultRegistry is the process-wide registry every package-level
+// instrument registers into; the admin server serves it on /metrics.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) register(e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[e.name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", e.name))
+	}
+	r.entries[e.name] = e
+}
+
+// NewCounter registers a counter under name. Duplicate names panic
+// (registration is init-time wiring, not a runtime path).
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&entry{name: name, help: help, k: kindCounter, c: c})
+	return c
+}
+
+// NewGauge registers a gauge under name.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&entry{name: name, help: help, k: kindGauge, g: g})
+	return g
+}
+
+// NewHistogram registers a histogram with the given ascending bucket
+// bounds (nil means DurationBuckets).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...), buckets: make([]atomic.Int64, len(bounds)+1)}
+	r.register(&entry{name: name, help: help, k: kindHistogram, h: h})
+	return h
+}
+
+// NewCounter registers a counter in the Default registry.
+func NewCounter(name, help string) *Counter { return defaultRegistry.NewCounter(name, help) }
+
+// NewGauge registers a gauge in the Default registry.
+func NewGauge(name, help string) *Gauge { return defaultRegistry.NewGauge(name, help) }
+
+// NewHistogram registers a histogram in the Default registry (nil bounds
+// mean DurationBuckets).
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return defaultRegistry.NewHistogram(name, help, bounds)
+}
+
+// WritePrometheus renders every registered instrument in Prometheus text
+// exposition format, sorted by metric name so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	entries := make([]*entry, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		entries = append(entries, r.entries[name])
+	}
+	r.mu.Unlock()
+
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+			return err
+		}
+		switch e.k {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.g.Value()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", e.name); err != nil {
+				return err
+			}
+			var cum int64
+			for i, b := range e.h.bounds {
+				cum += e.h.buckets[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", e.name, formatBound(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += e.h.buckets[len(e.h.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", e.name, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+				e.name, strconv.FormatFloat(e.h.Sum(), 'g', -1, 64), e.name, e.h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatBound renders a bucket bound the way Prometheus expects (shortest
+// round-trip float).
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/leakage"
 	"repro/internal/model"
 	"repro/internal/optim"
+	"repro/internal/telemetry"
 )
 
 // ServerOptions configures a TCP middleware server process.
@@ -47,11 +48,16 @@ type ServerOptions struct {
 	QuarantineRounds int
 	// Logf receives fault-tolerance progress lines (optional).
 	Logf func(format string, args ...any)
+	// AdminAddr, if non-empty, starts an HTTP observability listener
+	// serving /metrics (Prometheus text), /healthz (JSON federation
+	// status), and /debug/pprof/. Use ":0" for an ephemeral port.
+	AdminAddr string
 }
 
 // MiddlewareServer is a running TCP FL server.
 type MiddlewareServer struct {
 	inner *flnet.Server
+	admin *telemetry.AdminServer
 }
 
 // NewMiddlewareServer builds the initial global model for the configured
@@ -97,19 +103,44 @@ func NewMiddlewareServer(opts ServerOptions) (*MiddlewareServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MiddlewareServer{inner: srv}, nil
+	s := &MiddlewareServer{inner: srv}
+	if opts.AdminAddr != "" {
+		s.admin, err = telemetry.ServeAdmin(opts.AdminAddr, srv.Health, nil)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Addr returns the bound address (connect clients here).
 func (s *MiddlewareServer) Addr() string { return s.inner.Addr().String() }
+
+// AdminAddr returns the observability listener's address, or "" when
+// ServerOptions.AdminAddr was empty.
+func (s *MiddlewareServer) AdminAddr() string {
+	if s.admin == nil {
+		return ""
+	}
+	return s.admin.Addr().String()
+}
 
 // Serve orchestrates all rounds and returns the final global state vector.
 func (s *MiddlewareServer) Serve(ctx context.Context) ([]float64, error) {
 	return s.inner.Run(ctx)
 }
 
-// Close stops the server's listener.
-func (s *MiddlewareServer) Close() error { return s.inner.Close() }
+// Close stops the server's listener (and the admin listener, if any).
+func (s *MiddlewareServer) Close() error {
+	err := s.inner.Close()
+	if s.admin != nil {
+		if aerr := s.admin.Close(); err == nil {
+			err = aerr
+		}
+	}
+	return err
+}
 
 // Reports returns the per-round cohort reports (participants, dropped
 // clients, joined client errors) recorded so far.

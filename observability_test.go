@@ -1,0 +1,181 @@
+package dinar
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestObservabilityEndToEnd is the PR's acceptance scenario: a live
+// 3-client federation with -admin-addr enabled answers /healthz with round
+// progression, /metrics with the federation's counters, and /debug/pprof/,
+// while the per-round reports carry the per-phase timing breakdown.
+func TestObservabilityEndToEnd(t *testing.T) {
+	cfg := Config{
+		Dataset:     "purchase100",
+		Defense:     "dinar",
+		Clients:     3,
+		Rounds:      2,
+		LocalEpochs: 1,
+		Records:     300,
+		BatchSize:   32,
+		Seed:        17,
+	}
+	srv, err := NewMiddlewareServer(ServerOptions{
+		Addr:      "127.0.0.1:0",
+		AdminAddr: "127.0.0.1:0",
+		Config:    cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	adminAddr := srv.AdminAddr()
+	if adminAddr == "" {
+		t.Fatal("AdminAddr empty with AdminAddr option set")
+	}
+	base := "http://" + adminAddr
+
+	getHealth := func() telemetry.Health {
+		t.Helper()
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatalf("GET /healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := telemetry.DecodeHealth(body)
+		if err != nil {
+			t.Fatalf("decode /healthz %s: %v", body, err)
+		}
+		return h
+	}
+
+	// Before any client registers the federation is waiting at round 0.
+	if h := getHealth(); h.Status != "waiting" || h.Round != 0 || h.Rounds != cfg.Rounds ||
+		h.NumClients != cfg.Clients || h.CheckpointRound != -1 {
+		t.Fatalf("pre-run health = %+v", h)
+	}
+
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(ctx)
+		done <- err
+	}()
+	results := make(chan error, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		go func(id int) {
+			_, err := RunMiddlewareClient(ctx, ClientOptions{
+				Addr:     srv.Addr(),
+				Config:   cfg,
+				ClientID: id,
+			})
+			results <- err
+		}(i)
+	}
+
+	// The /healthz snapshot must progress out of "waiting" while the
+	// federation runs: poll until registered clients appear and the status
+	// advances.
+	sawProgress := false
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		h := getHealth()
+		if h.Status != "waiting" && h.RegisteredClients > 0 {
+			sawProgress = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawProgress {
+		t.Error("/healthz never reported a running federation")
+	}
+
+	for i := 0; i < cfg.Clients; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Final health: done, at the terminal round.
+	if h := getHealth(); h.Status != "done" || h.Round != cfg.Rounds {
+		t.Errorf("final health = %+v", h)
+	}
+
+	// /metrics carries the federation's counters in Prometheus text format.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsOut := string(body)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, name := range []string{
+		"dinar_flnet_rounds_started_total",
+		"dinar_flnet_rounds_completed_total",
+		"dinar_flnet_live_clients",
+		"dinar_wire_tx_bytes_total",
+		"dinar_wire_rx_frames_total",
+		"dinar_fl_aggregate_seconds_count",
+		"dinar_flnet_round_wait_seconds_bucket",
+	} {
+		if !strings.Contains(metricsOut, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	// This process ran at least cfg.Rounds full rounds (other tests in the
+	// binary may add more — counters are process-global).
+	var started int64
+	for _, line := range strings.Split(metricsOut, "\n") {
+		if strings.HasPrefix(line, "dinar_flnet_rounds_started_total ") {
+			fmt.Sscanf(line, "dinar_flnet_rounds_started_total %d", &started)
+		}
+	}
+	if started < int64(cfg.Rounds) {
+		t.Errorf("rounds_started_total = %d, want >= %d", started, cfg.Rounds)
+	}
+
+	// pprof answers under /debug/.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+
+	// Every aggregated round reports its per-phase timing.
+	reports := srv.Reports()
+	if len(reports) != cfg.Rounds {
+		t.Fatalf("got %d round reports, want %d", len(reports), cfg.Rounds)
+	}
+	for _, rep := range reports {
+		if rep.Timing.Broadcast <= 0 || rep.Timing.Wait <= 0 || rep.Timing.Aggregate <= 0 {
+			t.Errorf("round %d timing incomplete: %+v", rep.Round, rep.Timing)
+		}
+		if rep.Timing.Wait < rep.Timing.Broadcast {
+			t.Errorf("round %d: wait %s < broadcast %s (wait spans the whole collection)",
+				rep.Round, rep.Timing.Wait, rep.Timing.Broadcast)
+		}
+	}
+}
