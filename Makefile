@@ -14,9 +14,15 @@
 #                     under -race (including the rejoin log-serialization
 #                     hammer), the /metrics golden test, the instrument
 #                     zero-alloc guard, and the /healthz e2e
+#   make chaos      - crash-safe lifecycle acceptance under -race: the
+#                     seeded chaos soak (server crash/resume, checkpoint
+#                     corruption, client restarts, partitions), the drain
+#                     lifecycle, the private-store restart test, and the
+#                     checkpoint corruption/retention table
 #   make check      - everything above
 #   make fuzz       - short fuzz pass over the wire-protocol decoder, the
-#                     update screen, and the /healthz JSON round trip
+#                     update screen, the /healthz JSON round trip, and the
+#                     checkpoint envelope (CRC + corruption invariants)
 #   make bench      - kernel + per-layer hot-path microbenchmarks
 #   make bench-json - rerun the tracked hot-path suite, updating
 #                     BENCH_hotpath.json (baseline section is preserved)
@@ -26,7 +32,7 @@
 
 GO ?= go
 
-.PHONY: verify vet race adversary alloc parallel telemetry check fuzz bench bench-json bench-scaling
+.PHONY: verify vet race adversary alloc parallel telemetry chaos check fuzz bench bench-json bench-scaling
 
 verify:
 	$(GO) build ./...
@@ -56,7 +62,11 @@ telemetry:
 	$(GO) test ./internal/telemetry/ -run TestHotPathAllocFree -v
 	$(GO) test . -run TestObservabilityEndToEnd -v
 
-check: verify vet race adversary alloc parallel telemetry
+chaos:
+	$(GO) test -race -timeout 15m ./internal/chaos/
+	$(GO) test -race ./internal/checkpoint/ ./internal/faultnet/
+
+check: verify vet race adversary alloc parallel telemetry chaos
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/tensor/ ./internal/nn/
@@ -71,3 +81,5 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadMessage -fuzztime=30s ./internal/flnet/
 	$(GO) test -run=NONE -fuzz=FuzzScreen -fuzztime=30s ./internal/fl/
 	$(GO) test -run=NONE -fuzz=FuzzHealthJSON -fuzztime=30s ./internal/telemetry/
+	$(GO) test -run=NONE -fuzz=FuzzEnvelope$$ -fuzztime=30s ./internal/checkpoint/
+	$(GO) test -run=NONE -fuzz=FuzzEnvelopeCorruption -fuzztime=30s ./internal/checkpoint/

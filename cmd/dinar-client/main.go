@@ -39,6 +39,7 @@ func run(args []string) error {
 
 		maxRetries = fs.Int("max-retries", 0, "reconnection attempts after a network fault (0 = default 5, negative disables)")
 		backoff    = fs.Duration("base-backoff", 0, "first reconnection delay, doubled per failure with jitter (0 = default 100ms)")
+		privCkpt   = fs.String("private-checkpoint", "", "file persisting the DINAR private-layer store after every round; restarting with the same path restores the personalization state")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,8 +60,9 @@ func run(args []string) error {
 			Seed:    *seed,
 			Records: *records,
 		},
-		MaxRetries:  *maxRetries,
-		BaseBackoff: *backoff,
+		MaxRetries:            *maxRetries,
+		BaseBackoff:           *backoff,
+		PrivateCheckpointPath: *privCkpt,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},

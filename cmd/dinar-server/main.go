@@ -19,10 +19,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	dinar "repro"
@@ -57,6 +59,8 @@ func run(args []string) error {
 		quarantine = fs.Int("quarantine-rounds", 0, "rounds a poisoning client stays excluded after rejection (0 = default 3, negative disables)")
 
 		adminAddr = fs.String("admin-addr", "", "HTTP observability listen address serving /metrics, /healthz, and /debug/pprof/ (empty disables; \":0\" for an ephemeral port)")
+
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget after SIGINT/SIGTERM: the in-flight round may finish within it before the final checkpoint is written (a second signal aborts immediately)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,11 +98,43 @@ func run(args []string) error {
 		fmt.Printf("dinar-server: observability on http://%s (/metrics /healthz /debug/pprof/)\n", a)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	// First SIGINT/SIGTERM: drain gracefully (finish the in-flight round
+	// within -drain-timeout, checkpoint, notify clients). A second signal
+	// aborts the drain.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		select {
+		case <-sigCh:
+		case <-ctx.Done():
+			return
+		}
+		fmt.Printf("dinar-server: signal received; draining (up to %s; signal again to abort)\n", *drainTimeout)
+		drainCtx, drainCancel := context.WithTimeout(ctx, *drainTimeout)
+		defer drainCancel()
+		go func() {
+			select {
+			case <-sigCh:
+				fmt.Println("dinar-server: second signal; aborting drain")
+				cancel()
+			case <-drainCtx.Done():
+			}
+		}()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "dinar-server: drain: %v\n", err)
+		}
+	}()
 
 	start := time.Now()
 	final, err := srv.Serve(ctx)
+	if errors.Is(err, dinar.ErrDraining) {
+		fmt.Printf("dinar-server: drained after %s; state checkpointed at round %d — restart with the same -checkpoint to resume\n",
+			time.Since(start).Round(time.Millisecond), srv.Health().CheckpointRound)
+		return nil
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,63 @@
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// LeakGuard snapshots the process goroutine count so a test can assert
+// that everything it spawned — servers, clients, fault injectors — wound
+// down. Goroutine counts are noisy while things shut down asynchronously,
+// so Check polls until the count returns to the baseline or the deadline
+// expires.
+type LeakGuard struct {
+	baseline int
+}
+
+// NewLeakGuard captures the current goroutine count as the baseline.
+// Take it before starting any servers or clients.
+func NewLeakGuard() *LeakGuard {
+	return &LeakGuard{baseline: runtime.NumGoroutine()}
+}
+
+// Check polls for up to wait until the goroutine count is back at (or
+// below) the baseline; on timeout it returns an error carrying a full
+// stack dump of the leaked goroutines.
+func (g *LeakGuard) Check(wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= g.baseline {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			return fmt.Errorf("chaos: %d goroutines above baseline after %s (baseline %d, now %d):\n%s",
+				n-g.baseline, wait, g.baseline, n, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TB is the subset of testing.TB the guard helper needs (an interface so
+// this package does not import testing into non-test binaries).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// GuardTest registers a cleanup that fails t if the goroutine count has
+// not returned to the pre-test baseline within wait. Call it before the
+// test spawns anything.
+func GuardTest(t TB, wait time.Duration) {
+	t.Helper()
+	g := NewLeakGuard()
+	t.Cleanup(func() {
+		if err := g.Check(wait); err != nil {
+			t.Errorf("goroutine leak: %v", err)
+		}
+	})
+}

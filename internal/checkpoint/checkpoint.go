@@ -1,13 +1,22 @@
 // Package checkpoint persists federated-learning state so middleware
-// processes can stop and resume: the server's global model snapshot, and —
-// specific to DINAR — each client's private-layer store, whose loss would
-// otherwise cost the client its personalization (θᵖ* is never on the server,
-// by design).
+// processes can stop and resume: the server's global model snapshot (plus
+// the quarantine state of the Byzantine update screen), and — specific to
+// DINAR — each client's private-layer store, whose loss would otherwise
+// cost the client its personalization (θᵖ* is never on the server, by
+// design).
 //
-// The format is a versioned gob envelope; Load rejects unknown versions.
+// Format v2 (current) is a CRC32-checksummed binary envelope around a gob
+// payload; v1 files (bare gob) are still readable. The file helpers write
+// durably — fsync on the file and its parent directory around the atomic
+// rename — and chain generations: every save rotates the previous newest
+// file into a ".g<generation>" sibling, retaining the last DefaultRetain
+// generations, so LoadLatestValid can detect a torn or corrupted head and
+// fall back to the newest intact generation.
 package checkpoint
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -15,40 +24,65 @@ import (
 )
 
 // FormatVersion is the current on-disk format version.
-const FormatVersion = 1
+const FormatVersion = 2
+
+// legacyVersion is the pre-envelope gob-only format, still readable.
+const legacyVersion = 1
+
+// QuarantineState checkpoints the Byzantine update screen so quarantine
+// penalties and offense counts survive a server restart (a poisoner must
+// not be paroled by crashing the server).
+type QuarantineState struct {
+	// Offenses counts rejected updates per client id.
+	Offenses map[int]int
+	// BlockedUntil maps a quarantined client id to the last round
+	// (inclusive) its updates are excluded.
+	BlockedUntil map[int]int
+	// Norms is the running window of accepted delta norms backing the
+	// clip/reject bound.
+	Norms []float64
+}
 
 // Snapshot is a server-side global-model checkpoint.
 type Snapshot struct {
 	// Version is the format version (set by Save).
 	Version int
+	// Generation is the position in the checkpoint chain (set by SaveFile;
+	// 0 for stream saves and legacy files).
+	Generation uint64
 	// Dataset names the dataset/model configuration the state belongs to.
 	Dataset string
 	// Round is the number of completed FL rounds.
 	Round int
 	// State is the global model state vector.
 	State []float64
+	// Quarantine is the update screen's reputation state at Round, nil
+	// when screening is disabled (and in legacy v1 files).
+	Quarantine *QuarantineState
 }
 
-// Save writes the snapshot to w.
-func Save(w io.Writer, s *Snapshot) error {
+// encodeSnapshot gob-encodes the normalized snapshot payload.
+func encodeSnapshot(s *Snapshot, gen uint64) ([]byte, error) {
 	if s == nil || len(s.State) == 0 {
-		return fmt.Errorf("checkpoint: empty snapshot")
+		return nil, fmt.Errorf("checkpoint: empty snapshot")
 	}
 	out := *s
 	out.Version = FormatVersion
-	if err := gob.NewEncoder(w).Encode(&out); err != nil {
-		return fmt.Errorf("checkpoint: encode: %w", err)
+	out.Generation = gen
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&out); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
 	}
-	return nil
+	return buf.Bytes(), nil
 }
 
-// Load reads a snapshot from r.
-func Load(r io.Reader) (*Snapshot, error) {
+// decodeSnapshot decodes and validates a gob snapshot payload.
+func decodeSnapshot(r io.Reader, wantVersion int) (*Snapshot, error) {
 	var s Snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("checkpoint: decode: %w", err)
 	}
-	if s.Version != FormatVersion {
+	if s.Version != wantVersion {
 		return nil, fmt.Errorf("checkpoint: unsupported version %d", s.Version)
 	}
 	if len(s.State) == 0 {
@@ -57,30 +91,59 @@ func Load(r io.Reader) (*Snapshot, error) {
 	return &s, nil
 }
 
-// SaveFile writes the snapshot to path (atomically via a temp file rename).
-func SaveFile(path string, s *Snapshot) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+// Save writes the snapshot to w as a v2 envelope.
+func Save(w io.Writer, s *Snapshot) error {
+	var gen uint64
+	if s != nil {
+		gen = s.Generation
 	}
-	if err := Save(f, s); err != nil {
-		f.Close()
-		os.Remove(tmp)
+	payload, err := encodeSnapshot(s, gen)
+	if err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: close: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: rename: %w", err)
-	}
-	return nil
+	return writeEnvelope(w, kindSnapshot, gen, payload)
 }
 
-// LoadFile reads a snapshot from path.
+// Load reads a snapshot from r: a v2 envelope (CRC-verified) or a legacy
+// v1 bare-gob stream.
+func Load(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	head, isV2, err := sniffMagic(br)
+	if err != nil {
+		return nil, err
+	}
+	if !isV2 {
+		return decodeSnapshot(io.MultiReader(bytes.NewReader(head[:]), br), legacyVersion)
+	}
+	gen, payload, err := readEnvelope(head, br, kindSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	s, err := decodeSnapshot(bytes.NewReader(payload), FormatVersion)
+	if err != nil {
+		return nil, err
+	}
+	s.Generation = gen
+	return s, nil
+}
+
+// SaveFile writes the snapshot durably at the head of the checkpoint chain
+// at path (atomic rename, fsync on file and directory), rotating the
+// previous newest generation into a ".g<gen>" sibling and retaining the
+// last DefaultRetain generations.
+func SaveFile(path string, s *Snapshot) error {
+	return SaveFileRetain(path, s, DefaultRetain)
+}
+
+// SaveFileRetain is SaveFile with an explicit generation-retention count
+// (minimum 1: only the head file is kept).
+func SaveFileRetain(path string, s *Snapshot, retain int) error {
+	return saveChain(path, kindSnapshot, retain, func(gen uint64) ([]byte, error) {
+		return encodeSnapshot(s, gen)
+	})
+}
+
+// LoadFile reads the snapshot at path (either format).
 func LoadFile(path string) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -90,37 +153,65 @@ func LoadFile(path string) (*Snapshot, error) {
 	return Load(f)
 }
 
+// LoadLatestValid walks the checkpoint chain at path newest-first and
+// returns the first snapshot that decodes and CRC-verifies, plus the paths
+// of corrupt files skipped on the way. A missing chain reports
+// os.ErrNotExist; a chain with no intact generation reports every failure.
+func LoadLatestValid(path string) (*Snapshot, []string, error) {
+	var snap *Snapshot
+	skipped, err := loadLatestValid(path, func(cand string) error {
+		s, derr := LoadFile(cand)
+		if derr != nil {
+			return derr
+		}
+		snap = s
+		return nil
+	})
+	if err != nil {
+		return nil, skipped, err
+	}
+	return snap, skipped, nil
+}
+
 // PrivateLayers is a client-side checkpoint of DINAR's private-layer store
 // (θᵖ* per protected layer).
 type PrivateLayers struct {
 	// Version is the format version (set by SavePrivate).
 	Version int
+	// Generation is the position in the checkpoint chain (set by
+	// SavePrivateFile; 0 for stream saves and legacy files).
+	Generation uint64
 	// ClientID identifies the owning client.
 	ClientID int
+	// Round is the last round the stored layers belong to (0 in legacy
+	// files).
+	Round int
 	// Layers maps logical layer index to the stored parameters.
 	Layers map[int][]float64
 }
 
-// SavePrivate writes a private-layer store to w.
-func SavePrivate(w io.Writer, p *PrivateLayers) error {
+// encodePrivate gob-encodes the normalized private-store payload.
+func encodePrivate(p *PrivateLayers, gen uint64) ([]byte, error) {
 	if p == nil || len(p.Layers) == 0 {
-		return fmt.Errorf("checkpoint: empty private store")
+		return nil, fmt.Errorf("checkpoint: empty private store")
 	}
 	out := *p
 	out.Version = FormatVersion
-	if err := gob.NewEncoder(w).Encode(&out); err != nil {
-		return fmt.Errorf("checkpoint: encode private store: %w", err)
+	out.Generation = gen
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&out); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode private store: %w", err)
 	}
-	return nil
+	return buf.Bytes(), nil
 }
 
-// LoadPrivate reads a private-layer store from r.
-func LoadPrivate(r io.Reader) (*PrivateLayers, error) {
+// decodePrivate decodes and validates a gob private-store payload.
+func decodePrivate(r io.Reader, wantVersion int) (*PrivateLayers, error) {
 	var p PrivateLayers
 	if err := gob.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("checkpoint: decode private store: %w", err)
 	}
-	if p.Version != FormatVersion {
+	if p.Version != wantVersion {
 		return nil, fmt.Errorf("checkpoint: unsupported version %d", p.Version)
 	}
 	if len(p.Layers) == 0 {
@@ -129,30 +220,55 @@ func LoadPrivate(r io.Reader) (*PrivateLayers, error) {
 	return &p, nil
 }
 
-// SavePrivateFile writes a private-layer store to path atomically.
-func SavePrivateFile(path string, p *PrivateLayers) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+// SavePrivate writes a private-layer store to w as a v2 envelope.
+func SavePrivate(w io.Writer, p *PrivateLayers) error {
+	var gen uint64
+	if p != nil {
+		gen = p.Generation
 	}
-	if err := SavePrivate(f, p); err != nil {
-		f.Close()
-		os.Remove(tmp)
+	payload, err := encodePrivate(p, gen)
+	if err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: close: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: rename: %w", err)
-	}
-	return nil
+	return writeEnvelope(w, kindPrivate, gen, payload)
 }
 
-// LoadPrivateFile reads a private-layer store from path.
+// LoadPrivate reads a private-layer store from r (either format).
+func LoadPrivate(r io.Reader) (*PrivateLayers, error) {
+	br := bufio.NewReader(r)
+	head, isV2, err := sniffMagic(br)
+	if err != nil {
+		return nil, err
+	}
+	if !isV2 {
+		return decodePrivate(io.MultiReader(bytes.NewReader(head[:]), br), legacyVersion)
+	}
+	gen, payload, err := readEnvelope(head, br, kindPrivate)
+	if err != nil {
+		return nil, err
+	}
+	p, err := decodePrivate(bytes.NewReader(payload), FormatVersion)
+	if err != nil {
+		return nil, err
+	}
+	p.Generation = gen
+	return p, nil
+}
+
+// SavePrivateFile writes a private-layer store durably at the head of the
+// chain at path, like SaveFile.
+func SavePrivateFile(path string, p *PrivateLayers) error {
+	return SavePrivateFileRetain(path, p, DefaultRetain)
+}
+
+// SavePrivateFileRetain is SavePrivateFile with an explicit retention count.
+func SavePrivateFileRetain(path string, p *PrivateLayers, retain int) error {
+	return saveChain(path, kindPrivate, retain, func(gen uint64) ([]byte, error) {
+		return encodePrivate(p, gen)
+	})
+}
+
+// LoadPrivateFile reads the private-layer store at path (either format).
 func LoadPrivateFile(path string) (*PrivateLayers, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -160,6 +276,24 @@ func LoadPrivateFile(path string) (*PrivateLayers, error) {
 	}
 	defer f.Close()
 	return LoadPrivate(f)
+}
+
+// LoadLatestValidPrivate walks the private-store chain at path newest-first
+// like LoadLatestValid.
+func LoadLatestValidPrivate(path string) (*PrivateLayers, []string, error) {
+	var priv *PrivateLayers
+	skipped, err := loadLatestValid(path, func(cand string) error {
+		p, derr := LoadPrivateFile(cand)
+		if derr != nil {
+			return derr
+		}
+		priv = p
+		return nil
+	})
+	if err != nil {
+		return nil, skipped, err
+	}
+	return priv, skipped, nil
 }
 
 // encodeRaw gob-encodes v without normalizing the version field; it exists

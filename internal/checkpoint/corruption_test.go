@@ -1,0 +1,210 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildChain saves rounds 0..saves-1 into a fresh chain and returns the
+// head path. With the default retention, the head holds round saves-1 and
+// the newest sibling holds round saves-2.
+func buildChain(t *testing.T, saves int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "global.ckpt")
+	for r := 0; r < saves; r++ {
+		s := &Snapshot{Dataset: "purchase100", Round: r, State: []float64{float64(r), 1.5}}
+		if err := SaveFile(path, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+// TestLoadLatestValidFallback drives every corruption class through the
+// chain loader: whatever happened to the head — zero-length file, truncated
+// header, truncated payload, flipped payload byte (CRC mismatch), flipped
+// kind byte, bad magic, or unrelated garbage — LoadLatestValid must skip it
+// and return the newest intact generation.
+func TestLoadLatestValidFallback(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string, data []byte)
+	}{
+		{"zero-length", func(t *testing.T, path string, data []byte) {
+			writeRaw(t, path, nil)
+		}},
+		{"truncated-header", func(t *testing.T, path string, data []byte) {
+			writeRaw(t, path, data[:envHeaderSize/2])
+		}},
+		{"truncated-payload", func(t *testing.T, path string, data []byte) {
+			writeRaw(t, path, data[:envHeaderSize+(len(data)-envHeaderSize)/2])
+		}},
+		{"payload-bit-flip", func(t *testing.T, path string, data []byte) {
+			data[len(data)-1] ^= 0xff
+			writeRaw(t, path, data)
+		}},
+		{"kind-flip", func(t *testing.T, path string, data []byte) {
+			data[5] = kindPrivate
+			writeRaw(t, path, data)
+		}},
+		{"bad-magic", func(t *testing.T, path string, data []byte) {
+			data[0] = 'X'
+			writeRaw(t, path, data)
+		}},
+		{"garbage", func(t *testing.T, path string, data []byte) {
+			writeRaw(t, path, []byte("not a checkpoint at all, not even gob"))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := buildChain(t, 3)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, path, data)
+
+			got, skipped, err := LoadLatestValid(path)
+			if err != nil {
+				t.Fatalf("LoadLatestValid: %v", err)
+			}
+			if got.Round != 1 {
+				t.Fatalf("fell back to round %d, want 1 (the previous generation)", got.Round)
+			}
+			if len(skipped) != 1 || skipped[0] != path {
+				t.Fatalf("skipped %v, want just the head %s", skipped, path)
+			}
+		})
+	}
+}
+
+// writeRaw replaces path with data bytes (no envelope, no atomicity — this
+// is the corruption, not a save).
+func writeRaw(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadLatestValidAllCorrupt corrupts every generation of the chain:
+// the loader must fail loudly (reporting each candidate) rather than
+// half-load anything, and the error must not look like simple absence.
+func TestLoadLatestValidAllCorrupt(t *testing.T) {
+	path := buildChain(t, 3)
+	cands, err := filepath.Glob(path + "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		data, err := os.ReadFile(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0xff
+		writeRaw(t, c, data)
+	}
+	_, skipped, err := LoadLatestValid(path)
+	if err == nil {
+		t.Fatal("a fully corrupt chain should not load")
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corruption must not masquerade as absence: %v", err)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error should wrap ErrCorrupt: %v", err)
+	}
+	if len(skipped) != len(cands) {
+		t.Fatalf("skipped %d files, want all %d", len(skipped), len(cands))
+	}
+}
+
+// TestLoadLatestValidMissing distinguishes "never checkpointed" from
+// corruption: the error wraps os.ErrNotExist so resume paths can start
+// fresh.
+func TestLoadLatestValidMissing(t *testing.T) {
+	_, _, err := LoadLatestValid(filepath.Join(t.TempDir(), "absent.ckpt"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want os.ErrNotExist, got %v", err)
+	}
+}
+
+// TestChainRotationAndRetention saves past the retention horizon and
+// asserts the chain keeps exactly DefaultRetain generations — the head plus
+// DefaultRetain-1 siblings, newest surviving, oldest pruned.
+func TestChainRotationAndRetention(t *testing.T) {
+	const saves = 5
+	path := buildChain(t, saves)
+
+	head, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Round != saves-1 || head.Generation != saves {
+		t.Fatalf("head is round %d gen %d, want round %d gen %d", head.Round, head.Generation, saves-1, saves)
+	}
+	gens := siblingGenerations(path)
+	if len(gens) != DefaultRetain-1 {
+		t.Fatalf("retained %d siblings %v, want %d", len(gens), gens, DefaultRetain-1)
+	}
+	for i, gen := range gens {
+		wantGen := uint64(saves - DefaultRetain + 1 + i)
+		if gen != wantGen {
+			t.Fatalf("sibling %d has generation %d, want %d (oldest generations must be pruned)", i, gen, wantGen)
+		}
+		s, err := LoadFile(genPath(path, gen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Generation != gen || s.Round != int(gen)-1 {
+			t.Fatalf("sibling gen %d decodes to gen %d round %d", gen, s.Generation, s.Round)
+		}
+	}
+}
+
+// TestLoadFileReportsCorruption asserts the non-fallback loader surfaces
+// ErrCorrupt (callers that want the fallback must opt into
+// LoadLatestValid).
+func TestLoadFileReportsCorruption(t *testing.T) {
+	path := buildChain(t, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	writeRaw(t, path, data)
+	if _, err := LoadFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+// TestPrivateChainFallback mirrors the fallback test for the client-side
+// private-layer chain.
+func TestPrivateChainFallback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "private.ckpt")
+	for r := 0; r < 3; r++ {
+		p := &PrivateLayers{ClientID: 4, Round: r, Layers: map[int][]float64{0: {float64(r)}}}
+		if err := SavePrivateFile(path, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[envHeaderSize] ^= 0xff // first payload byte
+	writeRaw(t, path, data)
+
+	got, skipped, err := LoadLatestValidPrivate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 1 || got.ClientID != 4 {
+		t.Fatalf("fallback loaded client %d round %d, want client 4 round 1", got.ClientID, got.Round)
+	}
+	if len(skipped) != 1 {
+		t.Fatalf("skipped %v, want just the head", skipped)
+	}
+}

@@ -1,0 +1,140 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// These tests exist for the race detector: a faultnet.Conn sits between
+// flnet's reader and writer goroutines, so its fault bookkeeping (trip
+// flags, byte budgets, first-write detection) must hold up under
+// concurrent Read/Write — `go test -race ./internal/faultnet/` is the
+// assertion that matters as much as the explicit checks below.
+
+// TestResetConcurrentReadWrite hammers a Reset conn from a reader and a
+// writer goroutine at once: exactly one side trips the RST, every call
+// fails with the injected-fault sentinel, and nothing races.
+func TestResetConcurrentReadWrite(t *testing.T) {
+	server, client := pipe(t, Plan{Kind: Reset})
+	defer client.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			if i%2 == 0 {
+				buf := make([]byte, 4)
+				_, err = server.Read(buf)
+			} else {
+				_, err = server.Write([]byte("ping"))
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d on a reset conn returned %v, want ErrInjected", i, err)
+		}
+	}
+}
+
+// TestDropAfterConcurrentWriters races many writers against one byte
+// budget: the budget accounting must never let more than Plan.Bytes cross
+// the connection, no matter the interleaving.
+func TestDropAfterConcurrentWriters(t *testing.T) {
+	const budget = 64
+	server, client := pipe(t, Plan{Kind: DropAfter, Bytes: budget})
+
+	received := make(chan int, 1)
+	go func() {
+		n, _ := io.Copy(io.Discard, client)
+		received <- int(n)
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := make([]byte, 32)
+			for {
+				if _, err := server.Write(payload); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	client.Close()
+	if n := <-received; n > budget {
+		t.Fatalf("%d bytes crossed a conn budgeted for %d", n, budget)
+	}
+}
+
+// TestDuplicateConcurrentWriters races writers through the first-write
+// duplication: whichever write wins is duplicated exactly once, so the
+// peer receives exactly one payload more than was written.
+func TestDuplicateConcurrentWriters(t *testing.T) {
+	const writers = 8
+	server, client := pipe(t, Plan{Kind: Duplicate})
+
+	received := make(chan int, 1)
+	go func() {
+		n, _ := io.Copy(io.Discard, client)
+		received <- int(n)
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := server.Write([]byte{0xAB}); err != nil {
+				t.Errorf("duplicate write: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	server.Close()
+	if n := <-received; n != writers+1 {
+		t.Fatalf("received %d bytes from %d one-byte writes, want %d (first write duplicated once)", n, writers, writers+1)
+	}
+}
+
+// TestDelayConcurrentIO overlaps delayed reads with writes; the plan only
+// touches the read path, so writes must proceed unimpeded while a read
+// sleeps.
+func TestDelayConcurrentIO(t *testing.T) {
+	server, client := pipe(t, Plan{Kind: Delay, Delay: 50 * time.Millisecond})
+
+	go client.Write([]byte("data")) //nolint:errcheck // test peer
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(server, buf); err != nil {
+			t.Errorf("delayed read: %v", err)
+		}
+	}()
+
+	start := time.Now()
+	if _, err := server.Write([]byte("pong")); err != nil {
+		t.Fatalf("write during delayed read: %v", err)
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("write blocked %s behind the read delay", d)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}

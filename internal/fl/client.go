@@ -29,6 +29,9 @@ type Client struct {
 
 	loss nn.SoftmaxCrossEntropy
 	rng  *rand.Rand
+	// replayBase, when non-zero, reseeds the batch-shuffle rng at the
+	// start of every round (see EnableRoundReplay).
+	replayBase int64
 }
 
 // NewClient builds a client. The rng seeds batch shuffling and must be unique
@@ -52,6 +55,27 @@ func NewClient(id int, m *nn.Model, ds *data.Dataset, opt optim.Optimizer, batch
 		LocalEpochs: localEpochs,
 		rng:         rng,
 	}, nil
+}
+
+// EnableRoundReplay makes each round's local training a pure function of
+// (client id, round, global state) by reseeding the batch-shuffle rng from
+// base at the start of every RunRound. Crash-safe federations need this:
+// when a server resumes from a checkpoint and re-broadcasts a round the
+// client already trained, the retrained update is bit-identical to the
+// first attempt instead of diverging through the advanced rng stream. A
+// zero base disables replay (the default stream behavior).
+func (c *Client) EnableRoundReplay(base int64) {
+	c.replayBase = base
+}
+
+// roundRNG derives the per-round shuffle rng for replay mode (SplitMix64
+// finalizer over base, round, and client id so streams decorrelate).
+func roundRNG(base int64, round, id int) *rand.Rand {
+	z := uint64(base) ^ uint64(round+1)*0x9e3779b97f4a7c15 ^ uint64(id+1)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
 }
 
 // Install loads the (defense-transformed) global state into the local model.
@@ -113,6 +137,9 @@ func (c *Client) RunRound(round int, globalState []float64, def Defense, meter *
 	state := def.OnGlobalModel(c.ID, round, globalState)
 	if err := c.Install(state); err != nil {
 		return nil, fmt.Errorf("client %d install: %w", c.ID, err)
+	}
+	if c.replayBase != 0 {
+		c.rng = roundRNG(c.replayBase, round, c.ID)
 	}
 	start := time.Now()
 	if _, err := c.TrainLocal(); err != nil {

@@ -192,6 +192,53 @@ func (s *Screen) reject(clientID, round int) bool {
 	return !already
 }
 
+// ScreenState is the screen's exportable reputation state, checkpointed by
+// the middleware so quarantine penalties survive a server restart (a
+// poisoner must not be paroled by crashing the server).
+type ScreenState struct {
+	// Offenses counts rejected updates per client id.
+	Offenses map[int]int
+	// BlockedUntil maps a quarantined client id to the last round
+	// (inclusive) its updates are excluded.
+	BlockedUntil map[int]int
+	// Norms is the running window of accepted delta norms.
+	Norms []float64
+}
+
+// ExportState deep-copies the screen's reputation state for checkpointing.
+func (s *Screen) ExportState() ScreenState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ScreenState{
+		Offenses:     make(map[int]int, len(s.offenses)),
+		BlockedUntil: make(map[int]int, len(s.blockedUntil)),
+		Norms:        append([]float64(nil), s.norms...),
+	}
+	for id, n := range s.offenses {
+		st.Offenses[id] = n
+	}
+	for id, until := range s.blockedUntil {
+		st.BlockedUntil[id] = until
+	}
+	return st
+}
+
+// ImportState replaces the screen's reputation state with a checkpointed
+// copy (crash recovery). Nil maps reset the corresponding state.
+func (s *Screen) ImportState(st ScreenState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.offenses = make(map[int]int, len(st.Offenses))
+	s.blockedUntil = make(map[int]int, len(st.BlockedUntil))
+	for id, n := range st.Offenses {
+		s.offenses[id] = n
+	}
+	for id, until := range st.BlockedUntil {
+		s.blockedUntil[id] = until
+	}
+	s.norms = append(s.norms[:0], st.Norms...)
+}
+
 // Apply screens one round's updates against prevGlobal (the state the
 // round started from) and returns the survivors plus the verdict report.
 // Input updates are never mutated; clipped updates are copies.

@@ -35,10 +35,41 @@ type ClientConfig struct {
 	BaseBackoff time.Duration
 	// Logf receives reconnection progress lines (optional).
 	Logf func(format string, args ...any)
+	// AfterRound, if non-nil, runs after each round's update has been
+	// written to the server in full — the hook middleware uses to persist
+	// the client's private-layer store so personalization state survives a
+	// client restart. It runs on the session goroutine; a slow hook delays
+	// the next round's read.
+	AfterRound func(round int)
 }
 
 // defaultMaxBackoff caps the exponential backoff between reconnects.
 const defaultMaxBackoff = 10 * time.Second
+
+// defaultDrainRetryAfter is how long a client backs off after a drain
+// frame whose RetryAfterMs is zero.
+const defaultDrainRetryAfter = time.Second
+
+// backoffFor computes the clamped exponential backoff before retry number
+// failures (1-based). The shift is bounded before it is applied: a naive
+// base << (failures-1) overflows time.Duration once failures reaches ~33,
+// producing a negative (i.e. instant) backoff — exactly the retry storm
+// the backoff exists to prevent.
+func backoffFor(base time.Duration, failures int, max time.Duration) time.Duration {
+	if base <= 0 {
+		return max
+	}
+	shift := failures - 1
+	if shift < 0 {
+		shift = 0
+	}
+	// 2^shift would exceed max for any shift past log2(max/base); also
+	// guards the Duration overflow at shift >= 63.
+	if shift >= 63 || base > max>>shift {
+		return max
+	}
+	return base << shift
+}
 
 // RunClient connects to the server, participates in every round until the
 // server sends Done, installs the final (personalized) model into the
@@ -83,6 +114,11 @@ func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
 
 	lastCompleted := -1
 	failures := 0
+	drainWaits := 0
+	// A drain notice is an orderly "come back later", not a fault: it does
+	// not consume the retry budget, but it is capped so a server that
+	// drains forever cannot pin the client in a redial loop.
+	maxDrainWaits := 4*cfg.MaxRetries + 8
 	for {
 		before := lastCompleted
 		final, err := runSession(ctx, cfg, &lastCompleted)
@@ -94,20 +130,35 @@ func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
 		}
 		if lastCompleted > before {
 			failures = 0 // the session made progress; restart the budget
+			drainWaits = 0
 		}
-		failures++
-		if failures > cfg.MaxRetries {
-			return nil, fmt.Errorf("flnet: client %d giving up after %d consecutive failures: %w",
-				cfg.Trainer.ID, failures, err.err)
+		var sleep time.Duration
+		if err.drain {
+			drainWaits++
+			if drainWaits > maxDrainWaits {
+				return nil, fmt.Errorf("flnet: client %d giving up after %d drain notices: %w",
+					cfg.Trainer.ID, drainWaits, err.err)
+			}
+			retryAfter := err.retryAfter
+			if retryAfter <= 0 {
+				retryAfter = defaultDrainRetryAfter
+			}
+			sleep = retryAfter/2 + time.Duration(rng.Int63n(int64(retryAfter)))
+			telClientDrainWaits.Inc()
+			events.Eventf(-1, cfg.Trainer.ID, "flnet: client %d draining server; redialing in %s (notice %d/%d)",
+				cfg.Trainer.ID, sleep, drainWaits, maxDrainWaits)
+		} else {
+			failures++
+			if failures > cfg.MaxRetries {
+				return nil, fmt.Errorf("flnet: client %d giving up after %d consecutive failures: %w",
+					cfg.Trainer.ID, failures, err.err)
+			}
+			backoff := backoffFor(cfg.BaseBackoff, failures, defaultMaxBackoff)
+			sleep = backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+			telClientReconnects.Inc()
+			events.Eventf(-1, cfg.Trainer.ID, "flnet: client %d retry %d/%d in %s after: %v",
+				cfg.Trainer.ID, failures, cfg.MaxRetries, sleep, err.err)
 		}
-		backoff := cfg.BaseBackoff << (failures - 1)
-		if backoff > defaultMaxBackoff {
-			backoff = defaultMaxBackoff
-		}
-		sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
-		telClientReconnects.Inc()
-		events.Eventf(-1, cfg.Trainer.ID, "flnet: client %d retry %d/%d in %s after: %v",
-			cfg.Trainer.ID, failures, cfg.MaxRetries, sleep, err.err)
 		timer := time.NewTimer(sleep)
 		select {
 		case <-ctx.Done():
@@ -124,10 +175,18 @@ func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
 type sessionError struct {
 	err       error
 	retryable bool
+	// drain marks an orderly server drain notice: retryable, outside the
+	// failure budget, with a server-suggested back-off.
+	drain      bool
+	retryAfter time.Duration
 }
 
 func retryableErr(err error) *sessionError { return &sessionError{err: err, retryable: true} }
 func permanentErr(err error) *sessionError { return &sessionError{err: err, retryable: false} }
+
+func drainErr(err error, retryAfter time.Duration) *sessionError {
+	return &sessionError{err: err, retryable: true, drain: true, retryAfter: retryAfter}
+}
 
 // runSession runs one connection's worth of the protocol: dial, hello,
 // rounds, done. lastCompleted is advanced after every update the server
@@ -192,6 +251,9 @@ func runSession(ctx context.Context, cfg ClientConfig, lastCompleted *int) ([]fl
 				return nil, retryableErr(err)
 			}
 			*lastCompleted = msg.Round
+			if cfg.AfterRound != nil {
+				cfg.AfterRound(msg.Round)
+			}
 		case KindDone:
 			// Final personalization: install the last global model through
 			// the defense's download path.
@@ -200,6 +262,11 @@ func runSession(ctx context.Context, cfg ClientConfig, lastCompleted *int) ([]fl
 				return nil, permanentErr(err)
 			}
 			return msg.State, nil
+		case KindDrain:
+			// The server is draining for shutdown (or shedding load):
+			// back off politely and redial instead of burning retries.
+			return nil, drainErr(fmt.Errorf("flnet: server draining"),
+				time.Duration(msg.RetryAfterMs)*time.Millisecond)
 		case KindError:
 			// A rejection can be transient (e.g. "already registered"
 			// while the server is still evicting this client's previous

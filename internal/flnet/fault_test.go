@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/chaos"
 	"repro/internal/data"
 	"repro/internal/defense"
 	"repro/internal/faultnet"
@@ -300,6 +301,9 @@ func TestRoundDeadlineEvictsStraggler(t *testing.T) {
 // the *current* round, which then completes with the full cohort.
 func TestDroppedClientRejoinsMidRound(t *testing.T) {
 	const rejoinID = 1
+	// The rejoin machinery spawns acceptor and registration goroutines;
+	// the guard proves the run winds all of them down.
+	chaos.GuardTest(t, 10*time.Second)
 	bed := newFedBed(t, 2)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
@@ -718,6 +722,7 @@ func TestQuarantineSurvivesReconnect(t *testing.T) {
 		rounds     = 4
 		poisonerID = 2
 	)
+	chaos.GuardTest(t, 10*time.Second)
 	bed := newFedBed(t, numClients)
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()

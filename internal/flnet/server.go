@@ -52,8 +52,26 @@ type ServerConfig struct {
 	// MaxRejects caps rejected registration attempts (malformed hellos,
 	// protocol version mismatches, duplicate ids) before the server gives
 	// up, so a misbehaving peer cannot keep the accept loop spinning
-	// forever. 0 means 2*NumClients+8.
+	// forever. 0 means 2*NumClients+8. Connections shed by admission
+	// control or turned away during a drain do not count.
 	MaxRejects int
+	// DrainRetryAfter is the back-off suggested to clients in drain frames
+	// (Shutdown broadcast, draining registrants, admission-control sheds).
+	// 0 means 1s.
+	DrainRetryAfter time.Duration
+	// MaxInflightRegistrations bounds how many rejoin registrations may be
+	// mid-validation concurrently; connections past the bound are shed with
+	// a drain frame instead of queueing behind a slow (or stalled) hello.
+	// 0 means 4*NumClients+16.
+	MaxInflightRegistrations int
+	// RegisterRate and RegisterBurst form a token bucket over post-cohort
+	// registration attempts: up to RegisterBurst immediately, refilled at
+	// RegisterRate per second. Connections arriving without a token are
+	// shed with a drain frame (retry later), bounding the hello-validation
+	// work a reconnect storm can impose. RegisterRate 0 disables the
+	// bucket; RegisterBurst 0 means 2*NumClients+8.
+	RegisterRate  float64
+	RegisterBurst int
 	// CheckpointPath, if non-empty, persists a global-model snapshot after
 	// every aggregated round; if the file already exists at startup the
 	// federation resumes from the snapshot's round instead of round 0.
@@ -128,12 +146,19 @@ type RoundReport struct {
 	Timing RoundTiming
 }
 
+// ErrDraining is returned by Run (and reported by Shutdown callers) when
+// the federation was stopped early by a graceful drain: the last completed
+// round is checkpointed and the partial global state is returned alongside
+// this sentinel.
+var ErrDraining = errors.New("flnet: server draining")
+
 // Server is the TCP federated-learning middleware server.
 type Server struct {
 	cfg ServerConfig
 	ln  net.Listener
 
 	core       *fl.Server
+	screen     *fl.Screen
 	startRound int
 
 	// events serializes every log line and retains recent structured
@@ -146,7 +171,8 @@ type Server struct {
 	reports []RoundReport
 	// curRound is the round currently being orchestrated; ckptRound the
 	// last persisted checkpoint (-1 before the first); status the
-	// /healthz lifecycle phase.
+	// /healthz lifecycle phase ("waiting", "running", "draining",
+	// "drained", "done").
 	curRound  int
 	ckptRound int
 	status    string
@@ -155,6 +181,56 @@ type Server struct {
 	// the round loop; runDone unblocks the acceptor when Run returns.
 	joinCh  chan *session
 	runDone chan struct{}
+
+	// Drain state machine: drainCh closes when Shutdown begins (the round
+	// loop exits at the next round boundary); drainKill closes when the
+	// Shutdown context expires (the in-flight round aborts immediately).
+	drainCh   chan struct{}
+	drainKill chan struct{}
+	drainOnce sync.Once
+	killOnce  sync.Once
+
+	// Accept-path admission control for the rejoin phase.
+	admit  *tokenBucket
+	regSem chan struct{}
+}
+
+// tokenBucket is a minimal mutex-guarded token bucket (stdlib only): allow
+// spends one token when available, tokens refill at rate per second up to
+// burst. A nil bucket allows everything.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+func (b *tokenBucket) allow(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
 }
 
 // NewServer validates the configuration, loads a checkpoint when one is
@@ -181,6 +257,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MaxRejects == 0 {
 		cfg.MaxRejects = 2*cfg.NumClients + 8
 	}
+	if cfg.DrainRetryAfter == 0 {
+		cfg.DrainRetryAfter = time.Second
+	}
+	if cfg.MaxInflightRegistrations == 0 {
+		cfg.MaxInflightRegistrations = 4*cfg.NumClients + 16
+	}
+	if cfg.RegisterBurst == 0 {
+		cfg.RegisterBurst = 2*cfg.NumClients + 8
+	}
 	if cfg.EventCapacity == 0 {
 		cfg.EventCapacity = 256
 	}
@@ -193,10 +278,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	events := telemetry.NewEventLog(cfg.EventCapacity, sink)
 
+	var screen *fl.Screen
+	if !cfg.NoScreen {
+		screen = fl.NewScreen(cfg.Screen)
+	}
+
 	state := cfg.InitialState
 	startRound := 0
 	if cfg.CheckpointPath != "" {
-		snap, err := checkpoint.LoadFile(cfg.CheckpointPath)
+		snap, skipped, err := checkpoint.LoadLatestValid(cfg.CheckpointPath)
+		for _, p := range skipped {
+			events.Eventf(-1, -1, "flnet: skipping corrupt checkpoint generation %s", p)
+		}
 		switch {
 		case errors.Is(err, os.ErrNotExist):
 			// Fresh federation; the first round writes the file.
@@ -211,7 +304,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			}
 			state = snap.State
 			startRound = snap.Round
-			events.Eventf(startRound, -1, "flnet: resuming from checkpoint %s at round %d", cfg.CheckpointPath, startRound)
+			// Restore the screen's reputation state so quarantine penalties
+			// survive the restart — a poisoner must not be paroled by a
+			// server crash.
+			if screen != nil && snap.Quarantine != nil {
+				screen.ImportState(fl.ScreenState{
+					Offenses:     snap.Quarantine.Offenses,
+					BlockedUntil: snap.Quarantine.BlockedUntil,
+					Norms:        snap.Quarantine.Norms,
+				})
+			}
+			events.Eventf(startRound, -1, "flnet: resuming from checkpoint %s at round %d (generation %d)",
+				cfg.CheckpointPath, startRound, snap.Generation)
 		}
 	}
 
@@ -220,8 +324,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	core.SetRound(startRound)
-	if !cfg.NoScreen {
-		core.SetScreen(fl.NewScreen(cfg.Screen))
+	if screen != nil {
+		core.SetScreen(screen)
 	}
 
 	ln := cfg.Listener
@@ -235,6 +339,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:        cfg,
 		ln:         ln,
 		core:       core,
+		screen:     screen,
 		startRound: startRound,
 		events:     events,
 		live:       make(map[int]*session, cfg.NumClients),
@@ -243,7 +348,64 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		status:     "waiting",
 		joinCh:     make(chan *session, cfg.NumClients),
 		runDone:    make(chan struct{}),
+		drainCh:    make(chan struct{}),
+		drainKill:  make(chan struct{}),
+		admit:      newTokenBucket(cfg.RegisterRate, cfg.RegisterBurst),
+		regSem:     make(chan struct{}, cfg.MaxInflightRegistrations),
 	}, nil
+}
+
+// Shutdown gracefully drains the server: registration stops admitting new
+// clients (they get drain frames), the round loop exits at the next round
+// boundary with the last completed round checkpointed, and every live
+// client is notified with a drain frame. If ctx expires before the
+// in-flight round completes, the round is aborted instead of awaited.
+// Shutdown returns once Run has returned (Run reports ErrDraining);
+// calling it again is a no-op that waits the same way. Shutdown must not
+// be called before Run — with no round loop to drain, it blocks until ctx
+// expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		wasWaiting := s.status == "waiting"
+		if wasWaiting || s.status == "running" {
+			s.status = "draining"
+		}
+		s.mu.Unlock()
+		s.logf(-1, -1, "flnet: drain requested")
+		close(s.drainCh)
+		// Unblock a registration-phase Accept so a server draining before
+		// its cohort formed exits promptly. Mid-run the rejoin acceptor
+		// keeps running (it sheds registrants with drain frames) until
+		// Run's deferred listener close stops it.
+		if wasWaiting {
+			type deadliner interface{ SetDeadline(time.Time) error }
+			if d, ok := s.ln.(deadliner); ok {
+				d.SetDeadline(time.Now()) //nolint:errcheck // best effort
+			}
+		}
+	})
+	select {
+	case <-s.runDone:
+		return nil
+	case <-ctx.Done():
+		s.killOnce.Do(func() {
+			s.logf(-1, -1, "flnet: drain deadline expired; aborting in-flight round")
+			close(s.drainKill)
+		})
+		<-s.runDone
+		return ctx.Err()
+	}
+}
+
+// draining reports whether Shutdown has begun.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
 }
 
 // logf records one structured, serialized log event; round/client are -1
@@ -318,21 +480,38 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 	}()
 
 	if err := s.acceptCohort(ctx); err != nil {
+		if errors.Is(err, ErrDraining) {
+			// Drained while waiting for the cohort: no round ran, so the
+			// resumed (or initial) state is already the latest checkpoint.
+			state, derr := s.drainExit(s.startRound)
+			s.closeLive()
+			return state, derr
+		}
 		return nil, err
 	}
-	defer func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		for _, sess := range s.live {
-			sess.conn.Close()
-		}
-	}()
+	defer s.closeLive()
 
 	// Keep accepting for the rest of the run so evicted clients can
-	// rejoin and resync.
-	go s.acceptRejoins(ctx)
+	// rejoin and resync. Run joins the acceptor before returning: a
+	// registration still holding an accepted socket after Run returns
+	// would keep the port busy and break an immediate same-address
+	// restart (Linux only rebinds over TIME_WAIT, not ESTABLISHED).
+	quit := make(chan struct{})
+	rejoinDone := make(chan struct{})
+	go func() {
+		defer close(rejoinDone)
+		s.acceptRejoins(ctx, quit)
+	}()
+	defer func() {
+		s.ln.Close() // unblock Accept; Run's outer defer close is then a no-op
+		close(quit)  // abort in-flight registrations
+		<-rejoinDone
+	}()
 
 	for round := s.startRound; round < s.cfg.Rounds; round++ {
+		if s.draining() {
+			return s.drainExit(round)
+		}
 		s.mu.Lock()
 		s.curRound = round
 		s.status = "running"
@@ -343,6 +522,13 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 			s.mu.Lock()
 			s.reports = append(s.reports, report)
 			s.mu.Unlock()
+			if errors.Is(err, ErrDraining) {
+				// The drain deadline expired mid-round: abandon the round
+				// (its updates were never aggregated — the checkpoint chain
+				// ends at the last completed round) and exit the drain path.
+				_, derr := s.drainExit(round)
+				return s.core.GlobalState(), derr
+			}
 			return nil, fmt.Errorf("flnet: round %d: %w", round, err)
 		}
 		// Arrival order is nondeterministic; aggregate in client order so a
@@ -362,17 +548,9 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		}
 		telRoundsCompleted.Inc()
 		if s.cfg.CheckpointPath != "" {
-			snap := &checkpoint.Snapshot{
-				Dataset: s.cfg.Dataset,
-				Round:   s.core.Round(),
-				State:   s.core.GlobalState(),
-			}
-			if err := checkpoint.SaveFile(s.cfg.CheckpointPath, snap); err != nil {
+			if err := s.saveCheckpoint(); err != nil {
 				return nil, fmt.Errorf("flnet: round %d: %w", round, err)
 			}
-			s.mu.Lock()
-			s.ckptRound = s.core.Round()
-			s.mu.Unlock()
 		}
 		s.logf(round, -1, "flnet: round %d aggregated %d updates (dropped %d) [broadcast %s wait %s screen %s aggregate %s]",
 			round, len(report.Participants), len(report.Dropped),
@@ -406,6 +584,82 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 	return final, nil
 }
 
+// closeLive closes every live session's connection and empties the live
+// set (keeping the live-clients gauge truthful after Run returns).
+func (s *Server) closeLive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, sess := range s.live {
+		sess.conn.Close()
+		delete(s.live, id)
+	}
+	telLiveClients.Set(0)
+}
+
+// saveCheckpoint persists the current global state and screen reputation as
+// a new checkpoint generation.
+func (s *Server) saveCheckpoint() error {
+	snap := &checkpoint.Snapshot{
+		Dataset: s.cfg.Dataset,
+		Round:   s.core.Round(),
+		State:   s.core.GlobalState(),
+	}
+	if s.screen != nil {
+		st := s.screen.ExportState()
+		snap.Quarantine = &checkpoint.QuarantineState{
+			Offenses:     st.Offenses,
+			BlockedUntil: st.BlockedUntil,
+			Norms:        st.Norms,
+		}
+	}
+	if err := checkpoint.SaveFile(s.cfg.CheckpointPath, snap); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ckptRound = s.core.Round()
+	s.mu.Unlock()
+	return nil
+}
+
+// drainExit finishes a graceful drain: the final checkpoint is written (a
+// no-op when the per-round save already covers the current round), every
+// live client gets a drain frame telling it to come back after the restart,
+// and Run returns the partial global state alongside ErrDraining.
+func (s *Server) drainExit(round int) ([]float64, error) {
+	var errs []error
+	if s.cfg.CheckpointPath != "" {
+		s.mu.Lock()
+		behind := s.ckptRound < s.core.Round()
+		s.mu.Unlock()
+		if behind {
+			if err := s.saveCheckpoint(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	s.mu.Lock()
+	s.curRound = round
+	s.status = "drained"
+	sessions := make([]*session, 0, len(s.live))
+	for _, sess := range s.live {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	retryAfter := int(s.cfg.DrainRetryAfter / time.Millisecond)
+	for _, sess := range sessions {
+		// Best effort: the client's read will fail when the conn closes
+		// anyway; the drain frame just turns that into a polite back-off.
+		_ = s.send(sess, &Message{Kind: KindDrain, RetryAfterMs: retryAfter})
+		telDrainNotices.Inc()
+	}
+	s.logf(round, -1, "flnet: drained before round %d (%d clients notified, checkpoint at round %d)",
+		round, len(sessions), s.ckptRound)
+	if len(errs) > 0 {
+		return s.core.GlobalState(), fmt.Errorf("%w: final checkpoint: %v", ErrDraining, errors.Join(errs...))
+	}
+	return s.core.GlobalState(), ErrDraining
+}
+
 // acceptCohort waits for NumClients hello frames, bounded by an overall
 // RegisterTimeout deadline: once the deadline passes, a quorum of
 // MinClients suffices to start the federation.
@@ -416,6 +670,9 @@ func (s *Server) acceptCohort(ctx context.Context) error {
 		defer d.SetDeadline(time.Time{})                     //nolint:errcheck
 	}
 	for {
+		if s.draining() {
+			return ErrDraining
+		}
 		s.mu.Lock()
 		registered := len(s.live)
 		s.mu.Unlock()
@@ -426,6 +683,9 @@ func (s *Server) acceptCohort(ctx context.Context) error {
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
+			}
+			if s.draining() {
+				return ErrDraining
 			}
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
@@ -493,33 +753,89 @@ func (s *Server) register(conn net.Conn) (*session, error) {
 
 // acceptRejoins keeps registering clients after the initial cohort formed,
 // so an evicted client can reconnect and be resynced into the current
-// round. It stops when the listener closes or the reject cap is hit.
-func (s *Server) acceptRejoins(ctx context.Context) {
+// round. Registrations are validated concurrently (bounded by
+// MaxInflightRegistrations) so one stalled hello cannot head-of-line-block
+// every other reconnect; the token bucket sheds reconnect storms before
+// they cost validation work. It stops when the listener closes or the
+// reject cap is hit.
+func (s *Server) acceptRejoins(ctx context.Context, quit <-chan struct{}) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed (run finished or ctx canceled)
 		}
-		sess, err := s.register(conn)
-		if err != nil {
-			if errors.Is(err, errTooManyRejects) {
-				s.logf(-1, -1, "flnet: rejoin acceptor stopping: %v", err)
-				return
-			}
+		s.mu.Lock()
+		tooMany := s.rejects > s.cfg.MaxRejects
+		s.mu.Unlock()
+		if tooMany {
+			conn.Close()
+			s.logf(-1, -1, "flnet: rejoin acceptor stopping: %v", errTooManyRejects)
+			return
+		}
+		if s.draining() {
+			// Shed politely: the registrant should come back after the
+			// restart, not burn its retry budget on us.
+			s.sendDrain(conn)
+			conn.Close()
 			continue
 		}
-		telRejoins.Inc()
-		s.logf(-1, sess.clientID, "flnet: client %d rejoined (last completed round %d)", sess.clientID, sess.lastRound)
-		select {
-		case s.joinCh <- sess:
-		case <-s.runDone:
-			sess.conn.Close()
-			return
-		case <-ctx.Done():
-			sess.conn.Close()
-			return
+		if !s.admit.allow(time.Now()) {
+			s.sendDrain(conn)
+			conn.Close()
+			telAdmissionShed.Inc()
+			continue
 		}
+		select {
+		case s.regSem <- struct{}{}:
+		default:
+			// Validation capacity exhausted (a storm of half-open
+			// registrants); shed instead of queueing behind them.
+			s.sendDrain(conn)
+			conn.Close()
+			telAdmissionShed.Inc()
+			continue
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer func() { <-s.regSem }()
+			// Abort a half-open registration the moment the run winds
+			// down: closing the conn unblocks register's reads so the
+			// acceptor join in Run never waits out an IO timeout.
+			regDone := make(chan struct{})
+			defer close(regDone)
+			go func() {
+				select {
+				case <-quit:
+					conn.Close()
+				case <-regDone:
+				}
+			}()
+			sess, err := s.register(conn)
+			if err != nil {
+				return
+			}
+			telRejoins.Inc()
+			s.logf(-1, sess.clientID, "flnet: client %d rejoined (last completed round %d)", sess.clientID, sess.lastRound)
+			select {
+			case s.joinCh <- sess:
+			case <-quit:
+				sess.conn.Close()
+			case <-ctx.Done():
+				sess.conn.Close()
+			}
+		}(conn)
 	}
+}
+
+// sendDrain tells one connection the server is draining or shedding load.
+func (s *Server) sendDrain(conn net.Conn) {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+	// Best effort: the connection is being turned away either way.
+	_ = WriteMessage(conn, &Message{Kind: KindDrain, RetryAfterMs: int(s.cfg.DrainRetryAfter / time.Millisecond)})
+	telDrainNotices.Inc()
 }
 
 // result is one finished exchange.
@@ -654,6 +970,13 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 			reap(pending)
 			report.Err = errors.Join(errs...)
 			return nil, report, ctx.Err()
+		case <-s.drainKill:
+			// The drain deadline expired: abort the round. In-flight
+			// exchanges are reaped; their sessions close with the rest of
+			// the live set when Run returns.
+			reap(pending)
+			report.Err = errors.Join(errs...)
+			return nil, report, ErrDraining
 		case res := <-results:
 			pending--
 			if res.sendDur > report.Timing.Broadcast {

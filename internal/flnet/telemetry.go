@@ -24,6 +24,12 @@ var (
 		"currently registered client sessions")
 	telClientReconnects = telemetry.NewCounter("dinar_flnet_client_reconnects_total",
 		"reconnection attempts made by flnet clients in this process")
+	telDrainNotices = telemetry.NewCounter("dinar_flnet_drain_notices_total",
+		"drain frames sent to clients (shutdown broadcast, draining registrants)")
+	telAdmissionShed = telemetry.NewCounter("dinar_flnet_admission_shed_total",
+		"registration attempts shed by accept-path admission control (token bucket or in-flight cap)")
+	telClientDrainWaits = telemetry.NewCounter("dinar_flnet_client_drain_waits_total",
+		"drain back-off waits performed by flnet clients in this process")
 
 	telRoundBroadcastSeconds = telemetry.NewHistogram("dinar_flnet_round_broadcast_seconds",
 		"slowest global-state send of the round (the broadcast critical path)", nil)

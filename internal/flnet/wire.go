@@ -12,6 +12,7 @@
 //	server -> client  Global{Round, State}          (per round)
 //	client -> server  Update{Round, State, NumSamples}
 //	server -> client  Done{State: final global}
+//	server -> client  Drain{RetryAfterMs}           (graceful shutdown / load shed)
 //
 // A client may disconnect and re-register at any time; the Hello frame's
 // LastRound (the last round the client completed, -1 for a fresh client)
@@ -55,6 +56,12 @@ const (
 	KindUpdate
 	KindDone
 	KindError
+	// KindDrain tells a client the server is draining (graceful shutdown)
+	// or shedding load: back off for RetryAfterMs milliseconds and redial,
+	// without burning the reconnect retry budget. Sent to live clients
+	// when Shutdown begins, to registrants arriving during a drain, and to
+	// connections shed by accept-path admission control.
+	KindDrain
 )
 
 // String implements fmt.Stringer.
@@ -70,6 +77,8 @@ func (k Kind) String() string {
 		return "done"
 	case KindError:
 		return "error"
+	case KindDrain:
+		return "drain"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -91,6 +100,10 @@ type Message struct {
 	LastRound int
 	// Err carries a human-readable error for KindError frames.
 	Err string
+	// RetryAfterMs is the suggested client back-off in milliseconds; only
+	// meaningful on KindDrain (0 means the client-side default). Gob omits
+	// zero fields, so pre-drain peers interoperate unchanged.
+	RetryAfterMs int
 }
 
 // maxFrameBytes bounds a frame to protect against corrupt length prefixes

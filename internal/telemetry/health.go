@@ -11,7 +11,8 @@ import (
 // fuzzer relies on that).
 type Health struct {
 	// Status is "waiting" (registration), "running" (rounds in progress),
-	// or "done".
+	// "draining" (graceful shutdown requested, finishing the in-flight
+	// round), "drained" (drain complete, state checkpointed), or "done".
 	Status string `json:"status"`
 	// Round is the round currently being orchestrated (0-based); after the
 	// federation finishes it equals Rounds.

@@ -2,11 +2,14 @@ package dinar
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/consensus"
 	"repro/internal/data"
 	"repro/internal/defense"
@@ -53,6 +56,11 @@ type ServerOptions struct {
 	// status), and /debug/pprof/. Use ":0" for an ephemeral port.
 	AdminAddr string
 }
+
+// ErrDraining is returned by Serve after a graceful Shutdown: the
+// federation stopped cleanly with its state checkpointed, not because of a
+// failure.
+var ErrDraining = flnet.ErrDraining
 
 // MiddlewareServer is a running TCP FL server.
 type MiddlewareServer struct {
@@ -127,8 +135,19 @@ func (s *MiddlewareServer) AdminAddr() string {
 }
 
 // Serve orchestrates all rounds and returns the final global state vector.
+// After a Shutdown, the error is flnet.ErrDraining and the state is the
+// last checkpointed global model.
 func (s *MiddlewareServer) Serve(ctx context.Context) ([]float64, error) {
 	return s.inner.Run(ctx)
+}
+
+// Shutdown drains the federation gracefully: no new registrants are
+// admitted, the in-flight round finishes (or is abandoned when ctx
+// expires), the final state is checkpointed, and live clients receive a
+// drain notice telling them to reconnect after the restart. Serve returns
+// flnet.ErrDraining. Call only while Serve is running.
+func (s *MiddlewareServer) Shutdown(ctx context.Context) error {
+	return s.inner.Shutdown(ctx)
 }
 
 // Close stops the server's listener (and the admin listener, if any).
@@ -141,6 +160,10 @@ func (s *MiddlewareServer) Close() error {
 	}
 	return err
 }
+
+// Health returns the server's current /healthz snapshot (status, round
+// progress, live clients, last checkpointed round).
+func (s *MiddlewareServer) Health() telemetry.Health { return s.inner.Health() }
 
 // Reports returns the per-round cohort reports (participants, dropped
 // clients, joined client errors) recorded so far.
@@ -166,6 +189,14 @@ type ClientOptions struct {
 	// consecutive failures double it with jitter. 0 means the default
 	// (100ms).
 	BaseBackoff time.Duration
+	// PrivateCheckpointPath, if non-empty, persists the client's DINAR
+	// private-layer store after every round and restores it on startup
+	// from the newest intact generation. Losing this store costs the
+	// client its personalization (θᵖ* never leaves the client, by
+	// design), so crash safety here is the client-side half of the
+	// durable-checkpoint story. Ignored for defenses without a private
+	// store.
+	PrivateCheckpointPath string
 	// Logf receives reconnection progress lines (optional).
 	Logf func(format string, args ...any)
 }
@@ -230,14 +261,20 @@ func RunMiddlewareClient(ctx context.Context, opts ClientOptions) (*ParticipantR
 		return nil, err
 	}
 
-	final, err := flnet.RunClient(ctx, flnet.ClientConfig{
+	clientCfg := flnet.ClientConfig{
 		Addr:        opts.Addr,
 		Trainer:     trainer,
 		Defense:     def,
 		MaxRetries:  opts.MaxRetries,
 		BaseBackoff: opts.BaseBackoff,
 		Logf:        opts.Logf,
-	})
+	}
+	if opts.PrivateCheckpointPath != "" {
+		if err := wirePrivateCheckpoints(&clientCfg, def, opts); err != nil {
+			return nil, err
+		}
+	}
+	final, err := flnet.RunClient(ctx, clientCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -246,6 +283,58 @@ func RunMiddlewareClient(ctx context.Context, opts ClientOptions) (*ParticipantR
 		return nil, err
 	}
 	return &ParticipantResult{FinalGlobalState: final, Accuracy: acc}, nil
+}
+
+// privateStore is the store surface a defense must expose for private-layer
+// checkpointing (the DINAR defense does; others simply skip checkpointing).
+type privateStore interface {
+	ExportStore(clientID int) map[int][]float64
+	ImportStore(clientID int, layers map[int][]float64) error
+}
+
+// wirePrivateCheckpoints restores the defense's private-layer store from the
+// newest intact checkpoint generation and hooks a durable save after every
+// completed round.
+func wirePrivateCheckpoints(cfg *flnet.ClientConfig, def fl.Defense, opts ClientOptions) error {
+	store, ok := def.(privateStore)
+	if !ok {
+		return nil // nothing private to persist for this defense
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	loaded, skipped, err := checkpoint.LoadLatestValidPrivate(opts.PrivateCheckpointPath)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh client: nothing to restore.
+	case err != nil:
+		return fmt.Errorf("dinar: restore private store: %w", err)
+	default:
+		for _, path := range skipped {
+			logf("dinar: skipping corrupt private checkpoint generation %s", path)
+		}
+		if loaded.ClientID != opts.ClientID {
+			return fmt.Errorf("dinar: private checkpoint belongs to client %d, not %d", loaded.ClientID, opts.ClientID)
+		}
+		if err := store.ImportStore(opts.ClientID, loaded.Layers); err != nil {
+			return fmt.Errorf("dinar: restore private store: %w", err)
+		}
+		logf("dinar: restored private store from round %d (generation %d)", loaded.Round, loaded.Generation)
+	}
+	cfg.AfterRound = func(round int) {
+		err := checkpoint.SavePrivateFile(opts.PrivateCheckpointPath, &checkpoint.PrivateLayers{
+			ClientID: opts.ClientID,
+			Round:    round,
+			Layers:   store.ExportStore(opts.ClientID),
+		})
+		if err != nil {
+			// A failed save must not kill the round; the previous
+			// generation is still durable.
+			logf("dinar: private checkpoint after round %d: %v", round, err)
+		}
+	}
+	return nil
 }
 
 // ChoosePrivateLayer runs DINAR's initialization phase (§4.1): every client

@@ -1,0 +1,155 @@
+package dinar
+
+// Lifecycle integration: graceful Shutdown through the public middleware
+// API, and client private-store checkpointing via
+// ClientOptions.PrivateCheckpointPath — the end-to-end surface the
+// dinar-server/-client binaries wire to flags.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+func TestMiddlewareGracefulShutdownAndResume(t *testing.T) {
+	cfg := Config{
+		Dataset: "purchase100",
+		Defense: "dinar",
+		Clients: 2,
+		Rounds:  6,
+		Seed:    5,
+		Records: 400,
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "global.ckpt")
+	priv := filepath.Join(dir, "client1.ckpt")
+
+	srv, err := NewMiddlewareServer(ServerOptions{
+		Addr:           "127.0.0.1:0",
+		Config:         cfg,
+		CheckpointPath: ckpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvOut := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(context.Background())
+		srvOut <- err
+	}()
+
+	var logMu sync.Mutex
+	var logLines []string
+	logf := func(format string, args ...any) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		logLines = append(logLines, fmt.Sprintf(format, args...))
+	}
+	runClients := func(ctx context.Context, addr string) chan error {
+		out := make(chan error, cfg.Clients)
+		for id := 0; id < cfg.Clients; id++ {
+			opts := ClientOptions{
+				Addr:        addr,
+				Config:      cfg,
+				ClientID:    id,
+				MaxRetries:  8,
+				BaseBackoff: 20 * time.Millisecond,
+			}
+			if id == 1 {
+				opts.PrivateCheckpointPath = priv
+				opts.Logf = logf
+			}
+			go func(opts ClientOptions) {
+				_, err := RunMiddlewareClient(ctx, opts)
+				out <- err
+			}(opts)
+		}
+		return out
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	clientOut := runClients(ctx1, srv.Addr())
+
+	// Let at least one round checkpoint, then drain.
+	deadline := time.Now().Add(2 * time.Minute)
+	for srv.Health().CheckpointRound < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint after 2 minutes (health %+v)", srv.Health())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), time.Minute)
+	defer shutdownCancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-srvOut; !errors.Is(err, ErrDraining) {
+		t.Fatalf("Serve after Shutdown returned %v, want ErrDraining", err)
+	}
+	drainedAt := srv.Health().CheckpointRound
+	if drainedAt < 1 {
+		t.Fatalf("drain left checkpoint round %d, want >= 1", drainedAt)
+	}
+	cancel1()
+	for id := 0; id < cfg.Clients; id++ {
+		<-clientOut // interrupted mid-federation; errors expected
+	}
+
+	// Client 1 persisted its private store up to the drained progress.
+	saved, _, err := checkpoint.LoadLatestValidPrivate(priv)
+	if err != nil {
+		t.Fatalf("private store after drain: %v", err)
+	}
+	if saved.ClientID != 1 {
+		t.Fatalf("private store belongs to client %d, want 1", saved.ClientID)
+	}
+
+	// Restart everything from the checkpoints and finish the federation.
+	srv2, err := NewMiddlewareServer(ServerOptions{
+		Addr:           "127.0.0.1:0",
+		Config:         cfg,
+		CheckpointPath: ckpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.StartRound() < 1 {
+		t.Fatalf("resumed server starts at round %d, want >= 1", srv2.StartRound())
+	}
+	go func() {
+		_, err := srv2.Serve(context.Background())
+		srvOut <- err
+	}()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel2()
+	clientOut = runClients(ctx2, srv2.Addr())
+	for id := 0; id < cfg.Clients; id++ {
+		if err := <-clientOut; err != nil {
+			t.Fatalf("resumed client: %v", err)
+		}
+	}
+	if err := <-srvOut; err != nil {
+		t.Fatalf("resumed federation: %v", err)
+	}
+
+	// The restarted client restored its store instead of starting cold.
+	logMu.Lock()
+	defer logMu.Unlock()
+	restored := false
+	for _, line := range logLines {
+		if strings.Contains(line, "restored private store") {
+			restored = true
+		}
+	}
+	if !restored {
+		t.Fatalf("restarted client never restored its private store; log: %q", logLines)
+	}
+}
