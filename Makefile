@@ -19,6 +19,11 @@
 #                     corruption, client restarts, partitions), the drain
 #                     lifecycle, the private-store restart test, and the
 #                     checkpoint corruption/retention table
+#   make soak       - overload-resilience soak at short scale under -race:
+#                     the in-memory fleet harness, the sampled streaming /
+#                     partitioned-memory / async scale soaks, and the
+#                     sampling crash-resume + quarantine property tests
+#                     (make chaos runs the same soaks at full 10k scale)
 #   make check      - everything above
 #   make fuzz       - short fuzz pass over the wire-protocol decoder, the
 #                     update screen, the /healthz JSON round trip, and the
@@ -32,7 +37,7 @@
 
 GO ?= go
 
-.PHONY: verify vet race adversary alloc parallel telemetry chaos check fuzz bench bench-json bench-scaling
+.PHONY: verify vet race adversary alloc parallel telemetry chaos soak check fuzz bench bench-json bench-scaling
 
 verify:
 	$(GO) build ./...
@@ -66,7 +71,11 @@ chaos:
 	$(GO) test -race -timeout 15m ./internal/chaos/
 	$(GO) test -race ./internal/checkpoint/ ./internal/faultnet/
 
-check: verify vet race adversary alloc parallel telemetry chaos
+soak:
+	$(GO) test -race ./internal/fleetsim/
+	$(GO) test -race -short ./internal/chaos/ -run 'TestScaleSoak|TestSampledCohortResumeIdentity|TestQuarantinedClientNeverResampled'
+
+check: verify vet race adversary alloc parallel telemetry chaos soak
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/tensor/ ./internal/nn/

@@ -44,14 +44,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dinar-bench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "", "experiment ID (or 'all')")
-		list    = fs.Bool("list", false, "list experiment IDs and exit")
-		quick   = fs.Bool("quick", false, "reduced smoke-scale configuration")
-		seed    = fs.Int64("seed", 1, "experiment seed")
+		exp      = fs.String("exp", "", "experiment ID (or 'all')")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		quick    = fs.Bool("quick", false, "reduced smoke-scale configuration")
+		seed     = fs.Int64("seed", 1, "experiment seed")
 		records  = fs.Int("records", 0, "override dataset record count")
 		rounds   = fs.Int("rounds", 0, "override FL rounds")
 		clients  = fs.Int("clients", 0, "override FL client count")
 		jsonPath = fs.String("json", "", "run the hot-path benchmark suite and write results to this JSON file (preserving any recorded baseline)")
+		only     = fs.String("only", "", "comma-separated benchmark names to run instead of the whole suite; with -json, named entries are merged into the file and the rest preserved")
 		scaling  = fs.Bool("scaling", false, "sweep the suite over GOMAXPROCS settings, verify parallel paths stay bit-identical to serial, and record speedup/efficiency (use with -json)")
 		cpus     = fs.String("cpus", "", "comma-separated GOMAXPROCS settings for -scaling (default 1,2,4,NumCPU)")
 	)
@@ -89,12 +90,28 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	if *jsonPath != "" {
-		fmt.Println("running hot-path benchmark suite...")
-		snap := bench.RunHotPath(func(format string, a ...any) {
+	if *jsonPath != "" || *only != "" {
+		names := splitNames(*only)
+		if len(names) > 0 {
+			fmt.Printf("running hot-path benchmarks: %s\n", strings.Join(names, ", "))
+		} else {
+			fmt.Println("running hot-path benchmark suite...")
+		}
+		snap, err := bench.RunOnly(names, func(format string, a ...any) {
 			fmt.Printf(format, a...)
 		})
-		if err := bench.WriteFile(*jsonPath, snap); err != nil {
+		if err != nil {
+			return err
+		}
+		if *jsonPath == "" {
+			return nil
+		}
+		if len(names) > 0 {
+			err = bench.MergeResults(*jsonPath, snap)
+		} else {
+			err = bench.WriteFile(*jsonPath, snap)
+		}
+		if err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
@@ -137,6 +154,22 @@ func run(args []string) error {
 		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// splitNames parses the -only flag ("a,b") into benchmark names; empty
+// means the whole suite.
+func splitNames(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	names := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			names = append(names, p)
+		}
+	}
+	return names
 }
 
 // parseCPUs parses the -cpus flag ("1,2,4") into CPU counts; empty means the

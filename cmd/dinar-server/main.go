@@ -52,6 +52,11 @@ func run(args []string) error {
 		deadline   = fs.Duration("round-deadline", 0, "per-round collection deadline; stragglers past it are evicted (0 = wait forever)")
 		ckpt       = fs.String("checkpoint", "", "snapshot file persisted every round; restarting with the same path resumes the federation")
 
+		sampleSize = fs.Int("sample-size", 0, "clients sampled into each round's cohort, deterministic per (seed, round); failed members are replaced from the same draw (0 = every client)")
+		sampleSeed = fs.Int64("sample-seed", 0, "cohort-draw seed (0 = checkpoint's seed when resuming, else -seed)")
+		asyncStale = fs.Int("async-staleness", 0, "buffer stragglers' updates and fold them into later rounds weighted by age, up to this many rounds old; rounds then never block on stragglers (0 = synchronous)")
+		streaming  = fs.Bool("streaming", false, "fold each arriving update into an O(model) accumulator instead of materializing the whole cohort (falls back with a warning when the aggregation rule cannot stream)")
+
 		aggregator = fs.String("aggregator", "fedavg", "aggregation rule: fedavg, median, trimmed-mean, krum, multi-krum, norm-bound")
 		maxByz     = fs.Int("max-byzantine", 0, "assumed number of malicious clients the robust aggregator tolerates")
 		noScreen   = fs.Bool("no-screen", false, "disable the Byzantine update screen (shape/NaN validation, rejection, quarantine)")
@@ -80,6 +85,10 @@ func run(args []string) error {
 		},
 		MinClients:       *minClients,
 		RoundDeadline:    *deadline,
+		SampleSize:       *sampleSize,
+		SampleSeed:       *sampleSeed,
+		AsyncStaleness:   *asyncStale,
+		Streaming:        *streaming,
 		CheckpointPath:   *ckpt,
 		NoScreen:         *noScreen,
 		ClipNorms:        *clipNorms,

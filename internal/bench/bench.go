@@ -121,9 +121,9 @@ func (r *ScalingReport) MarkdownTable() string {
 // scaling sweep. The baseline is updated only deliberately (by editing the
 // file), never by rerunning the suite.
 type File struct {
-	SchemaVersion int           `json:"schema_version,omitempty"`
-	Baseline      *Snapshot     `json:"baseline,omitempty"`
-	Current       Snapshot      `json:"current"`
+	SchemaVersion int            `json:"schema_version,omitempty"`
+	Baseline      *Snapshot      `json:"baseline,omitempty"`
+	Current       Snapshot       `json:"current"`
 	Scaling       *ScalingReport `json:"scaling,omitempty"`
 }
 
@@ -234,6 +234,7 @@ var suite = []suiteEntry{
 			}
 		}
 	}},
+	{"round_throughput", benchRoundThroughput},
 	{"fig4_per_layer_protection", func(b *testing.B) {
 		o := experiment.QuickOptions()
 		o.UseShadowAttack = false
@@ -249,12 +250,44 @@ var suite = []suiteEntry{
 	}},
 }
 
+// Names lists the suite's benchmark names in run order.
+func Names() []string {
+	names := make([]string, len(suite))
+	for i, e := range suite {
+		names[i] = e.name
+	}
+	return names
+}
+
 // RunHotPath executes the suite and returns the snapshot. logf, when
 // non-nil, receives one progress line per entry.
 func RunHotPath(logf func(format string, args ...any)) Snapshot {
+	snap, _ := RunOnly(nil, logf)
+	return snap
+}
+
+// RunOnly executes the named subset of the suite (nil or empty means the
+// whole suite) and returns the snapshot; an unknown name is an error before
+// anything runs, so a typo doesn't cost a full measurement pass.
+func RunOnly(only []string, logf func(format string, args ...any)) (Snapshot, error) {
+	entries := suite
+	if len(only) > 0 {
+		byName := make(map[string]suiteEntry, len(suite))
+		for _, e := range suite {
+			byName[e.name] = e
+		}
+		entries = make([]suiteEntry, 0, len(only))
+		for _, name := range only {
+			e, ok := byName[name]
+			if !ok {
+				return Snapshot{}, fmt.Errorf("bench: unknown benchmark %q (known: %s)", name, strings.Join(Names(), ", "))
+			}
+			entries = append(entries, e)
+		}
+	}
 	procs := runtime.GOMAXPROCS(0)
-	results := make(map[string]Result, len(suite))
-	for _, e := range suite {
+	results := make(map[string]Result, len(entries))
+	for _, e := range entries {
 		r := testing.Benchmark(e.fn)
 		res := Result{
 			NsPerOp:     r.NsPerOp(),
@@ -269,7 +302,7 @@ func RunHotPath(logf func(format string, args ...any)) Snapshot {
 				e.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 		}
 	}
-	return Snapshot{GOMAXPROCS: procs, Results: results}
+	return Snapshot{GOMAXPROCS: procs, Results: results}, nil
 }
 
 // ReadFile loads a benchmark file; a missing file returns an empty File.
@@ -313,6 +346,24 @@ func UpdateFile(path string, mutate func(*File)) error {
 // baseline and scaling sections already recorded at path (if any).
 func WriteFile(path string, cur Snapshot) error {
 	return UpdateFile(path, func(f *File) { f.Current = cur })
+}
+
+// MergeResults folds a partial snapshot (e.g. a -only rerun of a few
+// entries) into the file's current section: named results are replaced,
+// everything else — including results the partial run did not measure — is
+// preserved.
+func MergeResults(path string, partial Snapshot) error {
+	return UpdateFile(path, func(f *File) {
+		if f.Current.Results == nil {
+			f.Current.Results = make(map[string]Result, len(partial.Results))
+		}
+		for name, r := range partial.Results {
+			f.Current.Results[name] = r
+		}
+		if f.Current.GOMAXPROCS == 0 {
+			f.Current.GOMAXPROCS = partial.GOMAXPROCS
+		}
+	})
 }
 
 // WriteScaling records rep as the file's scaling section, preserving the

@@ -171,7 +171,9 @@ func CheckParallelDeterminism(workers int) error {
 			}
 			return out.Data()
 		}},
-		{"conv2d_step", func() []float64 { return layerFingerprint(nn.NewConv2D(3, 4, 3, 1, 1, rand.New(rand.NewSource(11))), x4) }},
+		{"conv2d_step", func() []float64 {
+			return layerFingerprint(nn.NewConv2D(3, 4, 3, 1, 1, rand.New(rand.NewSource(11))), x4)
+		}},
 		{"batchnorm_step", func() []float64 { return layerFingerprint(nn.NewBatchNorm(3), x4) }},
 		{"maxpool_step", func() []float64 { return layerFingerprint(nn.NewMaxPool2D(2), x4) }},
 		{"relu_step", func() []float64 { return layerFingerprint(nn.NewReLU(), x4) }},

@@ -59,6 +59,34 @@ type Snapshot struct {
 	// Quarantine is the update screen's reputation state at Round, nil
 	// when screening is disabled (and in legacy v1 files).
 	Quarantine *QuarantineState
+
+	// SampleSeed and SampleSize record the per-round client-sampling
+	// configuration, so a resumed server draws bit-identical cohorts for
+	// the remaining rounds (zero when sampling is off or in older files;
+	// gob leaves absent fields at their zero value, so the format version
+	// is unchanged).
+	SampleSeed int64
+	SampleSize int
+	// Async holds updates that arrived after their round closed and were
+	// buffered for staleness-weighted aggregation in a later round. Saved
+	// on graceful drain so crash-resume replays them; nil when async mode
+	// is off.
+	Async []AsyncUpdate
+	// StreamNorms is the streaming norm-bound aggregator's trailing
+	// accepted-norm window (nil unless that aggregator is active).
+	StreamNorms []float64
+}
+
+// AsyncUpdate is one buffered late update in a Snapshot.
+type AsyncUpdate struct {
+	// ClientID is the sender.
+	ClientID int
+	// Round is the round the update was trained against.
+	Round int
+	// NumSamples is the sender's local-dataset weight.
+	NumSamples int
+	// State is the uploaded state vector.
+	State []float64
 }
 
 // encodeSnapshot gob-encodes the normalized snapshot payload.

@@ -186,6 +186,12 @@ func (d *DINAR) Aggregate(_ int, _ []float64, updates []*fl.Update) ([]float64, 
 	return fl.FedAvg(updates)
 }
 
+// StreamingAggregator implements fl.StreamingCapable: DINAR's server side is
+// plain FedAvg, so updates fold into an O(model) accumulator as they arrive.
+// Sampled-out clients keep obfuscating with a stale private layer until the
+// next broadcast they see re-personalizes it (OnGlobalModel).
+func (d *DINAR) StreamingAggregator() fl.StreamingAggregator { return fl.NewStreamingFedAvg() }
+
 // StoredPrivate returns a copy of the stored private parameters of the given
 // client and logical layer, or nil if none exist. Intended for tests and the
 // middleware's crash-recovery path.

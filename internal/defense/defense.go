@@ -67,6 +67,15 @@ func NewNone() *None { return &None{} }
 // Name implements fl.Defense.
 func (*None) Name() string { return "none" }
 
+// StreamingAggregator implements fl.StreamingCapable: the baseline
+// aggregates with FedAvg, which folds one update at a time.
+//
+// The capability is declared per concrete defense rather than on Base:
+// several defenses embed Base but override Aggregate (CDP post-noises the
+// aggregate, SA needs the full masked cohort), and a method on Base would
+// wrongly advertise streaming for them too.
+func (*None) StreamingAggregator() fl.StreamingAggregator { return fl.NewStreamingFedAvg() }
+
 // gaussianSigma returns the Gaussian-mechanism noise multiplier
 // σ = clip·sqrt(2·ln(1.25/δ))/ε.
 func gaussianSigma(clip, epsilon, delta float64) float64 {

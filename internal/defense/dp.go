@@ -38,6 +38,10 @@ func NewLDPWithBudget(seed int64, epsilon float64) *LDP {
 // Name implements fl.Defense.
 func (d *LDP) Name() string { return "ldp" }
 
+// StreamingAggregator implements fl.StreamingCapable: LDP perturbs on the
+// client and aggregates with plain FedAvg, so updates fold as they arrive.
+func (d *LDP) StreamingAggregator() fl.StreamingAggregator { return fl.NewStreamingFedAvg() }
+
 // BeforeUpload implements fl.Defense: clip-and-noise on the client update.
 func (d *LDP) BeforeUpload(round int, global []float64, u *fl.Update) {
 	n := d.Info().NumParams
@@ -128,6 +132,10 @@ func NewWDP(seed int64) *WDP {
 
 // Name implements fl.Defense.
 func (d *WDP) Name() string { return "wdp" }
+
+// StreamingAggregator implements fl.StreamingCapable: WDP perturbs on the
+// client and aggregates with plain FedAvg, so updates fold as they arrive.
+func (d *WDP) StreamingAggregator() fl.StreamingAggregator { return fl.NewStreamingFedAvg() }
 
 // BeforeUpload implements fl.Defense.
 func (d *WDP) BeforeUpload(round int, global []float64, u *fl.Update) {

@@ -33,6 +33,11 @@ func NewDPFedSAM(seed int64) *DPFedSAM {
 // Name implements fl.Defense.
 func (d *DPFedSAM) Name() string { return "dpfedsam" }
 
+// StreamingAggregator implements fl.StreamingCapable: DP-FedSAM perturbs on
+// the client and aggregates with plain FedAvg, so updates fold as they
+// arrive.
+func (d *DPFedSAM) StreamingAggregator() fl.StreamingAggregator { return fl.NewStreamingFedAvg() }
+
 // BeforeUpload implements fl.Defense: clip-and-noise on the client update.
 func (d *DPFedSAM) BeforeUpload(round int, global []float64, u *fl.Update) {
 	n := d.Info().NumParams

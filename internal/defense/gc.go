@@ -27,6 +27,10 @@ func NewGC() *GC { return &GC{Ratio: 0.1} }
 // Name implements fl.Defense.
 func (d *GC) Name() string { return "gc" }
 
+// StreamingAggregator implements fl.StreamingCapable: GC sparsifies on the
+// client and aggregates with plain FedAvg, so updates fold as they arrive.
+func (d *GC) StreamingAggregator() fl.StreamingAggregator { return fl.NewStreamingFedAvg() }
+
 // BeforeUpload implements fl.Defense: top-k sparsification of the update.
 func (d *GC) BeforeUpload(_ int, global []float64, u *fl.Update) {
 	n := d.Info().NumParams

@@ -3,6 +3,8 @@ package defense
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 
 	"repro/internal/fl"
 )
@@ -18,18 +20,34 @@ import (
 // As the paper's Fig. 6 shows, SA protects local models (attack AUC 50%) but
 // does NOT protect the global model: the aggregate itself is exact and leaks
 // exactly as much membership information as undefended FedAvg.
+//
+// Under client sampling SA is CohortAware: masks only cancel when both
+// endpoints of every mask edge aggregate in the same round, so the mask
+// graph is restricted to the round's sampled cohort (Fig. 6 semantics).
+// The flnet layer announces each round's cohort to the server-side defense
+// and ships it to the sampled clients in the global broadcast; with no
+// cohort announced, masks span the full [0, NumClients) as before.
 type SA struct {
 	Base
 
-	// NumClients is the (fixed) cohort size; masks are generated for all
-	// pairs in [0, NumClients).
+	// NumClients is the (fixed) registered cohort size; with no per-round
+	// cohort announced, masks are generated for all pairs in
+	// [0, NumClients).
 	NumClients int
 	// Seed is the shared PRG seed (in a real deployment this comes from a
 	// pairwise key agreement; here it is provided by the experiment).
 	Seed int64
+
+	mu sync.Mutex
+	// cohorts maps a round to its sampled cohort; pruned to the most
+	// recent few rounds.
+	cohorts map[int][]int
 }
 
-var _ fl.Defense = (*SA)(nil)
+var (
+	_ fl.Defense     = (*SA)(nil)
+	_ fl.CohortAware = (*SA)(nil)
+)
 
 // NewSA returns a secure-aggregation defense for a fixed cohort.
 func NewSA(seed int64, numClients int) *SA {
@@ -47,15 +65,51 @@ func (d *SA) Bind(info fl.ModelInfo) error {
 	return d.Base.Bind(info)
 }
 
+// SetRoundCohort implements fl.CohortAware: it restricts round's mask
+// graph to the sampled cohort. Only the last few rounds are retained.
+func (d *SA) SetRoundCohort(round int, cohort []int) {
+	sorted := append([]int(nil), cohort...)
+	sort.Ints(sorted)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cohorts == nil {
+		d.cohorts = make(map[int][]int)
+	}
+	d.cohorts[round] = sorted
+	for r := range d.cohorts {
+		if r < round-4 {
+			delete(d.cohorts, r)
+		}
+	}
+}
+
+// roundCohort returns round's mask endpoints: the announced cohort, or nil
+// meaning the full [0, NumClients) range.
+func (d *SA) roundCohort(round int) []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cohorts[round]
+}
+
 // BeforeUpload implements fl.Defense: scale by the sample count and apply
-// the pairwise masks.
+// the pairwise masks — against every peer in the round's cohort (or every
+// registered client when no cohort was announced).
 func (d *SA) BeforeUpload(round int, _ []float64, u *fl.Update) {
 	n := len(u.State)
 	scale := float64(u.NumSamples)
 	for i := range u.State {
 		u.State[i] *= scale
 	}
-	for other := 0; other < d.NumClients; other++ {
+	cohort := d.roundCohort(round)
+	peers := d.NumClients
+	if cohort != nil {
+		peers = len(cohort)
+	}
+	for p := 0; p < peers; p++ {
+		other := p
+		if cohort != nil {
+			other = cohort[p]
+		}
 		if other == u.ClientID {
 			continue
 		}
@@ -83,9 +137,28 @@ func (d *SA) pairRNG(round, lo, hi int) *rand.Rand {
 }
 
 // Aggregate implements fl.Defense with the masked sum (see fl.MaskedSum).
-func (d *SA) Aggregate(_ int, _ []float64, updates []*fl.Update) ([]float64, error) {
-	if len(updates) != d.NumClients {
-		return nil, fmt.Errorf("defense: SA round with %d of %d clients (dropouts unsupported)", len(updates), d.NumClients)
+// Masks only cancel when exactly the round's cohort aggregates: a missing
+// or extra member leaves unbalanced mask terms, so the round fails loudly
+// instead of publishing a garbage aggregate.
+func (d *SA) Aggregate(round int, _ []float64, updates []*fl.Update) ([]float64, error) {
+	cohort := d.roundCohort(round)
+	want := d.NumClients
+	if cohort != nil {
+		want = len(cohort)
+	}
+	if len(updates) != want {
+		return nil, fmt.Errorf("defense: SA round with %d of %d clients (dropouts unsupported)", len(updates), want)
+	}
+	if cohort != nil {
+		inCohort := make(map[int]bool, len(cohort))
+		for _, id := range cohort {
+			inCohort[id] = true
+		}
+		for _, u := range updates {
+			if !inCohort[u.ClientID] {
+				return nil, fmt.Errorf("defense: SA round %d update from client %d outside the sampled cohort %v", round, u.ClientID, cohort)
+			}
+		}
 	}
 	return fl.MaskedSum(updates)
 }

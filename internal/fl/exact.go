@@ -1,0 +1,183 @@
+package fl
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Exact fixed-point accumulation.
+//
+// The streaming aggregation path folds updates in arrival order while the
+// materialized path processes them sorted by client id; float64 addition is
+// not associative, so accumulating in floating point would let the two
+// paths drift by rounding. Instead every contribution is converted exactly
+// to a signed 128-bit fixed-point integer (60 fractional bits) and summed
+// with integer carries. Integer addition is commutative and associative, so
+// any fold order — arrival order, sorted order, or a crash/resume split —
+// produces bit-identical accumulator state, and the single rounding step
+// happens once at finalize time. This is what makes streaming FedAvg
+// bit-identical to materialized FedAvg at the same seed.
+//
+// Representable contributions are |c| < 2^40 (ample for model coordinates
+// scaled by sample counts); anything larger, or non-finite, permanently
+// poisons the coordinate, which finalizes to NaN — mirroring how a float
+// sum would be destroyed by an Inf/NaN term. The 2^40 bound guarantees the
+// 128-bit accumulator cannot overflow for up to 2^24 (≈16.7M) folds.
+// Magnitudes below 2^-60 truncate toward zero, far beneath float64's own
+// resolution near the finalized values.
+
+const (
+	// fixFracBits is the number of fractional bits in the fixed-point
+	// representation.
+	fixFracBits = 60
+	// fixMaxMag bounds one contribution's magnitude; at or above it the
+	// coordinate is poisoned instead of accumulated.
+	fixMaxMag = float64(1 << 40)
+)
+
+// fixAcc is one exact accumulator cell: a two's-complement 128-bit integer
+// held as two uint64 limbs, representing value × 2^60.
+type fixAcc struct{ hi, lo uint64 }
+
+// add folds one fixed-point term into the cell with a carry chain.
+func (a *fixAcc) add(hi, lo uint64) {
+	var c uint64
+	a.lo, c = bits.Add64(a.lo, lo, 0)
+	a.hi, _ = bits.Add64(a.hi, hi, c)
+}
+
+// addFloat converts c to fixed point and folds it in; it reports false
+// (folding nothing) when c is not representable.
+func (a *fixAcc) addFloat(c float64) bool {
+	hi, lo, ok := fixFromFloat(c)
+	if !ok {
+		return false
+	}
+	a.add(hi, lo)
+	return true
+}
+
+// fixFromFloat converts c to the two's-complement 128-bit fixed-point
+// representation of trunc(c·2^60). ok is false for NaN, ±Inf, and
+// |c| ≥ 2^40. The conversion is exact for every representable input except
+// the deterministic truncation of bits below 2^-60.
+func fixFromFloat(c float64) (hi, lo uint64, ok bool) {
+	if c == 0 {
+		return 0, 0, true
+	}
+	if math.IsNaN(c) || math.IsInf(c, 0) {
+		return 0, 0, false
+	}
+	neg := c < 0
+	if neg {
+		c = -c
+	}
+	if c >= fixMaxMag {
+		return 0, 0, false
+	}
+	fr, exp := math.Frexp(c)    // c = fr·2^exp, fr ∈ [0.5, 1)
+	m := uint64(fr * (1 << 53)) // 53-bit integer mantissa, exact
+	// c·2^60 = m · 2^(exp−53+60)
+	shift := exp - 53 + fixFracBits
+	switch {
+	case shift <= -64:
+		m = 0
+	case shift < 0:
+		m >>= uint(-shift) // truncate toward zero
+	}
+	if shift <= 0 {
+		lo, hi = m, 0
+	} else {
+		// exp ≤ 40 ⇒ shift ≤ 47, so m·2^shift < 2^100 fits the two limbs.
+		lo = m << uint(shift)
+		hi = m >> uint(64-shift)
+	}
+	if neg {
+		hi, lo = neg128(hi, lo)
+	}
+	return hi, lo, true
+}
+
+// neg128 returns the two's-complement negation of (hi, lo).
+func neg128(hi, lo uint64) (uint64, uint64) {
+	lo = ^lo + 1
+	hi = ^hi
+	if lo == 0 {
+		hi++
+	}
+	return hi, lo
+}
+
+// float converts the accumulated value back to float64. The two limbs are
+// rounded independently and summed — a deterministic function of the
+// accumulator bits, within 1 ulp of the true quotient-free value.
+func (a fixAcc) float() float64 {
+	hi, lo := a.hi, a.lo
+	neg := hi>>63 != 0
+	if neg {
+		hi, lo = neg128(hi, lo)
+	}
+	v := math.Ldexp(float64(hi), 64-fixFracBits) + math.Ldexp(float64(lo), -fixFracBits)
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+// isZero reports whether the cell holds exactly zero.
+func (a fixAcc) isZero() bool { return a.hi == 0 && a.lo == 0 }
+
+// exactVec is an exact accumulator over a state vector: one fixAcc per
+// coordinate plus a sticky poison flag for unrepresentable contributions.
+// Memory is O(model) — 17 bytes per coordinate — independent of how many
+// updates fold into it.
+type exactVec struct {
+	acc []fixAcc
+	bad []bool
+}
+
+// newExactVec returns an accumulator for n-coordinate states.
+func newExactVec(n int) *exactVec {
+	return &exactVec{acc: make([]fixAcc, n), bad: make([]bool, n)}
+}
+
+// reset zeroes the accumulator for reuse.
+func (v *exactVec) reset(n int) {
+	if cap(v.acc) < n {
+		v.acc = make([]fixAcc, n)
+		v.bad = make([]bool, n)
+		return
+	}
+	v.acc = v.acc[:n]
+	v.bad = v.bad[:n]
+	for i := range v.acc {
+		v.acc[i] = fixAcc{}
+		v.bad[i] = false
+	}
+}
+
+// addScaled folds state[i]·scale into every coordinate. len(state) must
+// equal the accumulator length (callers validate).
+func (v *exactVec) addScaled(state []float64, scale float64) {
+	for i, x := range state {
+		if !v.acc[i].addFloat(x * scale) {
+			v.bad[i] = true
+		}
+	}
+}
+
+// finalize writes the accumulated values divided by div into out (out must
+// have the accumulator length). Poisoned coordinates finalize to NaN.
+func (v *exactVec) finalize(div float64, out []float64) {
+	for i := range out {
+		if v.bad[i] {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = v.acc[i].float() / div
+	}
+}
+
+// bytes reports the accumulator's memory footprint, for the aggregation
+// peak-memory gauge.
+func (v *exactVec) bytes() int { return len(v.acc)*16 + len(v.bad) }

@@ -35,6 +35,10 @@ type Update struct {
 	// NumSamples is the client's local training set size; FedAvg weighs
 	// updates by it.
 	NumSamples int
+	// Staleness is how many rounds old the update is at aggregation time
+	// (0 in synchronous rounds). The async buffered mode sets it for late
+	// updates, and FedAvg decays their weight by StalenessWeight.
+	Staleness int
 }
 
 // ModelInfo describes the model layout to defenses that address individual
@@ -117,36 +121,25 @@ func DefaultLearningRate(dataset, optimizer string) float64 {
 
 // FedAvg computes the sample-count-weighted average of the updates' state
 // vectors — the classical aggregation rule of McMahan et al. A zero total
-// weight falls back to the unweighted mean.
+// weight falls back to the unweighted mean; stale updates (Update.Staleness
+// > 0, set by the async mode) are decayed by StalenessWeight.
+//
+// FedAvg is defined as StreamingFedAvg folded over the batch: the sums
+// accumulate in exact fixed point (see exact.go), so the result is
+// identical no matter how the batch is ordered or split — the streaming
+// arrival-order path, the materialized sorted path, and an async
+// crash/resume all agree bit for bit.
 func FedAvg(updates []*Update) ([]float64, error) {
 	if len(updates) == 0 {
 		return nil, fmt.Errorf("fl: FedAvg of zero updates")
 	}
-	n := len(updates[0].State)
-	total := 0
+	agg := NewStreamingFedAvg()
 	for _, u := range updates {
-		if len(u.State) != n {
-			return nil, fmt.Errorf("fl: update from client %d has %d values, want %d", u.ClientID, len(u.State), n)
-		}
-		total += u.NumSamples
-	}
-	out := make([]float64, n)
-	if total == 0 {
-		inv := 1.0 / float64(len(updates))
-		for _, u := range updates {
-			for i, v := range u.State {
-				out[i] += v * inv
-			}
-		}
-		return out, nil
-	}
-	for _, u := range updates {
-		w := float64(u.NumSamples) / float64(total)
-		for i, v := range u.State {
-			out[i] += v * w
+		if err := agg.Fold(u); err != nil {
+			return nil, err
 		}
 	}
-	return out, nil
+	return agg.Finalize()
 }
 
 // MaskedSum computes the plain unweighted sum of the updates divided by the

@@ -162,6 +162,20 @@ func (r *RobustDefense) Aggregate(_ int, prevGlobal []float64, updates []*Update
 	}
 }
 
+// StreamingAggregator implements StreamingCapable: the norm-bound rule can
+// clip and fold each update as it arrives (against a trailing-window bound
+// — see StreamingNormBound for how its calibration differs from the
+// materialized same-round median), while the median, trimmed-mean, and
+// Krum-family rules order or score the whole cohort at once and so declare
+// themselves non-streaming (nil) — the server falls back to materialized
+// aggregation with a telemetry warning.
+func (r *RobustDefense) StreamingAggregator() StreamingAggregator {
+	if r.Rule == RuleNormBound {
+		return NewStreamingNormBound(r.NormMultiple)
+	}
+	return nil
+}
+
 // AggregatorNames lists the selectable server-side aggregation rules in the
 // order the -aggregator flag documents them.
 var AggregatorNames = []string{"fedavg", "median", "trimmed-mean", "krum", "multi-krum", "norm-bound"}

@@ -249,28 +249,64 @@ func (s *Screen) Apply(round int, prevGlobal []float64, updates []*Update) ([]*U
 	report := ScreenReport{Round: round}
 	kept := make([]*Update, 0, len(updates))
 	for _, u := range updates {
-		if s.quarantined(u.ClientID, round) {
-			report.Quarantined = append(report.Quarantined, u.ClientID)
-			continue
+		if su, ok := s.applyOne(&report, round, prevGlobal, u); ok {
+			kept = append(kept, su)
 		}
-		if reason := s.validate(prevGlobal, u); reason != "" {
-			report.Rejected = append(report.Rejected, ScreenVerdict{ClientID: u.ClientID, Reason: reason})
-			if s.reject(u.ClientID, round) {
-				report.NewlyQuarantined = append(report.NewlyQuarantined, u.ClientID)
-			}
-			continue
-		}
-		u, clipped := s.clip(prevGlobal, u)
-		if clipped {
-			report.Clipped = append(report.Clipped, u.ClientID)
-		}
-		kept = append(kept, u)
-		report.Accepted = append(report.Accepted, u.ClientID)
 	}
 	telScreenAccepted.Add(int64(len(report.Accepted)))
 	telScreenRejected.Add(int64(len(report.Rejected)))
 	telScreenClipped.Add(int64(len(report.Clipped)))
 	telScreenQuarantined.Add(int64(len(report.Quarantined)))
+	s.updateOccupancy(round)
+	return kept, report
+}
+
+// ApplyOne screens a single update as it arrives — the streaming
+// aggregation path issues its verdict per arrival, before the update is
+// folded and its buffer released. The verdict is appended to report (the
+// round's running report, owned by the caller); the returned update is the
+// one to fold (a scaled copy when clipped) and ok reports survival.
+// Equivalent to Apply over a one-update batch: folding N arrivals through
+// ApplyOne books the same verdicts, offenses, and telemetry as one Apply
+// over the same N updates.
+func (s *Screen) ApplyOne(report *ScreenReport, round int, prevGlobal []float64, u *Update) (*Update, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := [4]int{len(report.Accepted), len(report.Rejected), len(report.Clipped), len(report.Quarantined)}
+	su, ok := s.applyOne(report, round, prevGlobal, u)
+	telScreenAccepted.Add(int64(len(report.Accepted) - before[0]))
+	telScreenRejected.Add(int64(len(report.Rejected) - before[1]))
+	telScreenClipped.Add(int64(len(report.Clipped) - before[2]))
+	telScreenQuarantined.Add(int64(len(report.Quarantined) - before[3]))
+	s.updateOccupancy(round)
+	return su, ok
+}
+
+// applyOne issues one update's verdict into report and returns the
+// survivor (a clipped copy when norm-bounded). Callers hold s.mu.
+func (s *Screen) applyOne(report *ScreenReport, round int, prevGlobal []float64, u *Update) (*Update, bool) {
+	if s.quarantined(u.ClientID, round) {
+		report.Quarantined = append(report.Quarantined, u.ClientID)
+		return nil, false
+	}
+	if reason := s.validate(prevGlobal, u); reason != "" {
+		report.Rejected = append(report.Rejected, ScreenVerdict{ClientID: u.ClientID, Reason: reason})
+		if s.reject(u.ClientID, round) {
+			report.NewlyQuarantined = append(report.NewlyQuarantined, u.ClientID)
+		}
+		return nil, false
+	}
+	su, clipped := s.clip(prevGlobal, u)
+	if clipped {
+		report.Clipped = append(report.Clipped, su.ClientID)
+	}
+	report.Accepted = append(report.Accepted, su.ClientID)
+	return su, true
+}
+
+// updateOccupancy refreshes the quarantine-occupancy gauge. Callers hold
+// s.mu.
+func (s *Screen) updateOccupancy(round int) {
 	occupancy := 0
 	for _, until := range s.blockedUntil {
 		if round <= until {
@@ -278,7 +314,6 @@ func (s *Screen) Apply(round int, prevGlobal []float64, updates []*Update) ([]*U
 		}
 	}
 	telQuarantineOccupancy.Set(int64(occupancy))
-	return kept, report
 }
 
 // validate returns a rejection reason, or "" for a structurally sound

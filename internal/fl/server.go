@@ -18,6 +18,14 @@ type Server struct {
 	screen        *Screen
 	screenReports []ScreenReport
 	lastTiming    AggTiming
+
+	// Streaming round state (BeginRound/Offer/FinishRound).
+	streaming       bool
+	streamAgg       StreamingAggregator
+	streamReport    ScreenReport
+	streamScreenDur time.Duration
+	streamFoldDur   time.Duration
+	streamCount     int
 }
 
 // AggTiming is the phase breakdown of one Aggregate call.
@@ -94,6 +102,11 @@ func (s *Server) Aggregate(updates []*Update) error {
 	if len(updates) == 0 {
 		return fmt.Errorf("fl: round %d received no updates", s.round)
 	}
+	payloadBytes := 0
+	for _, u := range updates {
+		payloadBytes += 8 * len(u.State)
+	}
+	telAggUpdateBytesPeak.SetMax(int64(payloadBytes))
 	s.lastTiming = AggTiming{}
 	if s.screen != nil {
 		screenStart := time.Now()
@@ -137,3 +150,158 @@ func (s *Server) Aggregate(updates []*Update) error {
 // LastAggTiming returns the phase breakdown of the most recent Aggregate
 // call (screening vs the defense's aggregation rule).
 func (s *Server) LastAggTiming() AggTiming { return s.lastTiming }
+
+// OfferVerdict is the per-arrival outcome of a streamed update.
+type OfferVerdict int
+
+// Offer verdicts.
+const (
+	// OfferAccepted: the update was folded into the running aggregate.
+	OfferAccepted OfferVerdict = iota
+	// OfferClipped: folded after the screen norm-clipped its delta.
+	OfferClipped
+	// OfferRejected: the screen rejected the update (not folded); the
+	// caller should evict the sender like the materialized path does.
+	OfferRejected
+	// OfferQuarantined: dropped because the sender is serving a quarantine
+	// penalty (not folded, sender not evicted).
+	OfferQuarantined
+)
+
+// String implements fmt.Stringer.
+func (v OfferVerdict) String() string {
+	switch v {
+	case OfferAccepted:
+		return "accepted"
+	case OfferClipped:
+		return "clipped"
+	case OfferRejected:
+		return "rejected"
+	case OfferQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// BeginRound arms the streaming aggregation path for the current round:
+// updates are then screened and folded one at a time via Offer — their
+// buffers releasable immediately after — and FinishRound finalizes the
+// accumulator into the next global state. Memory stays O(model) instead of
+// O(clients × model). The round counter does not advance until FinishRound.
+func (s *Server) BeginRound(agg StreamingAggregator) error {
+	if agg == nil {
+		return fmt.Errorf("fl: BeginRound with nil aggregator")
+	}
+	if s.streaming {
+		return fmt.Errorf("fl: BeginRound while round %d is still streaming", s.round)
+	}
+	s.streaming = true
+	s.streamAgg = agg
+	s.streamReport = ScreenReport{Round: s.round}
+	s.streamScreenDur, s.streamFoldDur = 0, 0
+	s.streamCount = 0
+	agg.Begin(s.round, s.state)
+	return nil
+}
+
+// Offer screens one arriving update and folds it into the streaming round.
+// The verdict mirrors the materialized screen's per-update outcome; the
+// update's State buffer is never retained, so the caller may release it as
+// soon as Offer returns. A non-nil error means the update was structurally
+// incompatible (or the fold itself failed) — the caller decides whether
+// that fails the round or just the sender.
+func (s *Server) Offer(u *Update) (OfferVerdict, error) {
+	if !s.streaming {
+		return OfferRejected, fmt.Errorf("fl: Offer without BeginRound")
+	}
+	if u == nil {
+		return OfferRejected, fmt.Errorf("fl: Offer of nil update")
+	}
+	su := u
+	verdict := OfferAccepted
+	if s.screen != nil {
+		start := time.Now()
+		quarBefore, clipBefore := len(s.streamReport.Quarantined), len(s.streamReport.Clipped)
+		screened, ok := s.screen.ApplyOne(&s.streamReport, s.round, s.state, u)
+		s.streamScreenDur += time.Since(start)
+		if !ok {
+			if len(s.streamReport.Quarantined) > quarBefore {
+				return OfferQuarantined, nil
+			}
+			return OfferRejected, nil
+		}
+		if len(s.streamReport.Clipped) > clipBefore {
+			verdict = OfferClipped
+		}
+		su = screened
+	} else if len(u.State) != len(s.state) {
+		return OfferRejected, fmt.Errorf("fl: round %d update from client %d has %d values, want %d",
+			s.round, u.ClientID, len(u.State), len(s.state))
+	}
+	peak := 8 * len(su.State)
+	if mb, ok := s.streamAgg.(interface{ MemoryBytes() int }); ok {
+		peak += mb.MemoryBytes()
+	}
+	telAggUpdateBytesPeak.SetMax(int64(peak))
+	start := time.Now()
+	err := s.streamAgg.Fold(su)
+	s.streamFoldDur += time.Since(start)
+	if err != nil {
+		return OfferRejected, fmt.Errorf("fl: round %d fold: %w", s.round, err)
+	}
+	s.streamCount++
+	return verdict, nil
+}
+
+// StreamCount returns how many updates the streaming round has folded.
+func (s *Server) StreamCount() int { return s.streamCount }
+
+// FinishRound finalizes the streaming round: the accumulator becomes the
+// next global state and the round counter advances, exactly like a
+// successful materialized Aggregate.
+func (s *Server) FinishRound() error {
+	if !s.streaming {
+		return fmt.Errorf("fl: FinishRound without BeginRound")
+	}
+	s.streaming = false
+	s.lastTiming = AggTiming{Screen: s.streamScreenDur}
+	if s.screen != nil {
+		telScreenSeconds.Observe(s.streamScreenDur.Seconds())
+		s.screenReports = append(s.screenReports, s.streamReport)
+	}
+	if s.streamCount == 0 {
+		if s.screen != nil && len(s.streamReport.Rejected)+len(s.streamReport.Quarantined) > 0 {
+			return fmt.Errorf("fl: round %d: no updates survived screening (%d rejected, %d quarantined)",
+				s.round, len(s.streamReport.Rejected), len(s.streamReport.Quarantined))
+		}
+		return fmt.Errorf("fl: round %d received no updates", s.round)
+	}
+	start := time.Now()
+	next, err := s.streamAgg.Finalize()
+	if err != nil {
+		return fmt.Errorf("fl: round %d aggregate: %w", s.round, err)
+	}
+	if len(next) != len(s.state) {
+		return fmt.Errorf("fl: defense %q returned %d values, want %d", s.def.Name(), len(next), len(s.state))
+	}
+	s.lastTiming.Aggregate = s.streamFoldDur + time.Since(start)
+	telAggregateSeconds.Observe(s.lastTiming.Aggregate.Seconds())
+	telRoundsAggregated.Inc()
+	if s.meter != nil {
+		s.meter.AddServerAgg(s.lastTiming.Aggregate)
+		s.meter.SamplePhase(metrics.PhaseAggregate)
+	}
+	s.state = next
+	s.round++
+	return nil
+}
+
+// AbortRound discards an armed streaming round (quorum failure, drain)
+// without touching the global state or round counter. Screen offenses
+// booked during the round stick — an offense is an offense even if the
+// round never finalizes.
+func (s *Server) AbortRound() {
+	s.streaming = false
+	s.streamCount = 0
+}

@@ -1,0 +1,325 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// StreamingAggregator folds one round's updates into a running accumulator
+// as they arrive, instead of materializing the whole cohort in memory:
+// server memory stays O(model), not O(clients × model). Begin arms the
+// aggregator for a round, Fold consumes one update (the caller may release
+// the update's buffer immediately after — implementations never retain it),
+// and Finalize produces the next global state.
+//
+// Implementations built on the exact fixed-point accumulator (StreamingFedAvg)
+// are fold-order invariant: any arrival order produces bit-identical output,
+// which is what lets the streaming path match the materialized sorted-order
+// path bit for bit, and lets async mode fold late updates whenever they land.
+type StreamingAggregator interface {
+	// Name identifies the rule, e.g. "fedavg".
+	Name() string
+	// Begin resets the accumulator for a round starting from prevGlobal.
+	Begin(round int, prevGlobal []float64)
+	// Fold accumulates one update. The update and its State buffer are not
+	// retained. A non-nil error poisons the round (caller's choice to abort
+	// or evict the sender); the update is not counted.
+	Fold(u *Update) error
+	// Finalize returns the aggregated next global state.
+	Finalize() ([]float64, error)
+}
+
+// StreamingCapable is implemented by defenses whose server-side aggregation
+// rule can run as a StreamingAggregator. Returning nil declares the rule
+// non-streaming for its current configuration (Krum and Multi-Krum score
+// each update against the whole cohort, so they inherently need every
+// update materialized); the flnet server then falls back to materialized
+// aggregation and raises a telemetry warning.
+type StreamingCapable interface {
+	StreamingAggregator() StreamingAggregator
+}
+
+// StreamingOf returns def's streaming aggregator, or nil when the defense
+// does not (or cannot) stream.
+func StreamingOf(def Defense) StreamingAggregator {
+	if sc, ok := def.(StreamingCapable); ok {
+		return sc.StreamingAggregator()
+	}
+	return nil
+}
+
+// CohortAware is implemented by defenses whose correctness depends on the
+// exact per-round participant set. Secure aggregation is the canonical
+// case: pairwise masks only cancel when both endpoints of every mask edge
+// aggregate in the same round, so under client sampling the mask graph must
+// be restricted to the sampled cohort (paper Fig. 6 semantics) — on the
+// server before masked aggregation, and on every sampled client before it
+// masks its upload. The flnet layer calls SetRoundCohort on both sides and
+// ships the cohort ids in the round's global broadcast.
+type CohortAware interface {
+	// SetRoundCohort announces the client ids sampled into round. The slice
+	// is not retained (implementations copy).
+	SetRoundCohort(round int, cohort []int)
+}
+
+// StalenessWeight is the age decay applied to an update aggregated s rounds
+// after the round it trained against: 1/(1+s). Fresh updates (s ≤ 0) keep
+// full weight, so synchronous rounds are unaffected.
+func StalenessWeight(s int) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return 1 / float64(1+s)
+}
+
+// StreamingFedAvg is the streaming form of FedAvg: the sample-count- and
+// staleness-weighted average, accumulated exactly so fold order cannot
+// change the result. FedAvg itself is defined as this aggregator folded
+// over the batch, which is why the two paths agree bit for bit.
+//
+// A zero total weight falls back to the (staleness-weighted) mean of the
+// folded states, preserving classic FedAvg's zero-weight behavior.
+type StreamingFedAvg struct {
+	dim      int // -1 until the first fold fixes it
+	weighted *exactVec
+	plain    *exactVec
+	wTotal   fixAcc
+	cTotal   fixAcc
+	count    int
+}
+
+var _ StreamingAggregator = (*StreamingFedAvg)(nil)
+
+// NewStreamingFedAvg returns an armed aggregator (Begin is optional for the
+// first round).
+func NewStreamingFedAvg() *StreamingFedAvg {
+	a := &StreamingFedAvg{}
+	a.Begin(0, nil)
+	return a
+}
+
+// Name implements StreamingAggregator.
+func (a *StreamingFedAvg) Name() string { return "fedavg" }
+
+// Begin implements StreamingAggregator. An empty prevGlobal leaves the
+// dimension to be fixed by the first fold.
+func (a *StreamingFedAvg) Begin(_ int, prevGlobal []float64) {
+	a.wTotal, a.cTotal = fixAcc{}, fixAcc{}
+	a.count = 0
+	if len(prevGlobal) == 0 {
+		a.dim = -1
+		return
+	}
+	a.setDim(len(prevGlobal))
+}
+
+func (a *StreamingFedAvg) setDim(n int) {
+	a.dim = n
+	if a.weighted == nil {
+		a.weighted = newExactVec(n)
+		a.plain = newExactVec(n)
+		return
+	}
+	a.weighted.reset(n)
+	a.plain.reset(n)
+}
+
+// Fold implements StreamingAggregator.
+func (a *StreamingFedAvg) Fold(u *Update) error {
+	if u == nil {
+		return fmt.Errorf("fl: fold of nil update")
+	}
+	if a.dim < 0 {
+		a.setDim(len(u.State))
+	}
+	if len(u.State) != a.dim {
+		return fmt.Errorf("fl: update from client %d has %d values, want %d", u.ClientID, len(u.State), a.dim)
+	}
+	decay := StalenessWeight(u.Staleness)
+	w := float64(u.NumSamples) * decay
+	if !a.wTotal.addFloat(w) || !a.cTotal.addFloat(decay) {
+		return fmt.Errorf("fl: update from client %d has unrepresentable weight %g", u.ClientID, w)
+	}
+	a.weighted.addScaled(u.State, w)
+	a.plain.addScaled(u.State, decay)
+	a.count++
+	return nil
+}
+
+// Count returns how many updates have been folded since Begin.
+func (a *StreamingFedAvg) Count() int { return a.count }
+
+// Finalize implements StreamingAggregator.
+func (a *StreamingFedAvg) Finalize() ([]float64, error) {
+	if a.count == 0 {
+		return nil, fmt.Errorf("fl: FedAvg of zero updates")
+	}
+	out := make([]float64, a.dim)
+	if a.wTotal.isZero() {
+		a.plain.finalize(a.cTotal.float(), out)
+	} else {
+		a.weighted.finalize(a.wTotal.float(), out)
+	}
+	return out, nil
+}
+
+// MemoryBytes reports the accumulator footprint (the aggregation
+// peak-memory gauge adds it to the in-flight update payload).
+func (a *StreamingFedAvg) MemoryBytes() int {
+	if a.weighted == nil {
+		return 0
+	}
+	return a.weighted.bytes() + a.plain.bytes() + 2*16
+}
+
+// StreamingNormBound is the streaming form of norm-bounded averaging: each
+// arriving update's delta (state − prevGlobal) is clipped to
+// multiple × median of a trailing window of previously accepted norms, then
+// folded into a StreamingFedAvg.
+//
+// The bound deliberately differs from NormBoundedFedAvg's: the materialized
+// rule clips against the median of the *current* round (it has every update
+// in hand), which a per-arrival fold cannot know. The streaming rule
+// calibrates on completed rounds instead — the first rounds pass unclipped
+// while the window fills (like the screen's MinHistory warmup), and within
+// a round the bound is fixed at Begin, so verdicts are independent of
+// arrival order. Non-finite updates are dropped, mirroring the materialized
+// rule's finiteness filter.
+type StreamingNormBound struct {
+	inner      *StreamingFedAvg
+	multiple   float64
+	window     int
+	minHistory int
+	prev       []float64
+	bound      float64
+	history    []float64
+	roundNorms []float64
+	scratch    []float64
+	dropped    int
+}
+
+var _ StreamingAggregator = (*StreamingNormBound)(nil)
+
+// NewStreamingNormBound returns a streaming norm-bound aggregator; multiple
+// ≤ 0 means 1 (clip to the median itself), matching NormBoundedFedAvg.
+func NewStreamingNormBound(multiple float64) *StreamingNormBound {
+	if multiple <= 0 {
+		multiple = 1
+	}
+	return &StreamingNormBound{
+		inner:      NewStreamingFedAvg(),
+		multiple:   multiple,
+		window:     64,
+		minHistory: 4,
+	}
+}
+
+// Name implements StreamingAggregator.
+func (a *StreamingNormBound) Name() string { return "norm-bound" }
+
+// Begin implements StreamingAggregator. The round's clip bound is fixed
+// here from the trailing norm window, so every fold of the round sees the
+// same bound regardless of arrival order.
+func (a *StreamingNormBound) Begin(round int, prevGlobal []float64) {
+	a.inner.Begin(round, prevGlobal)
+	a.prev = prevGlobal
+	a.roundNorms = a.roundNorms[:0]
+	a.dropped = 0
+	a.bound = a.currentBound()
+}
+
+// currentBound returns multiple × median of the trailing accepted norms, or
+// +Inf while the window is still calibrating.
+func (a *StreamingNormBound) currentBound() float64 {
+	if len(a.history) < a.minHistory {
+		return math.Inf(1)
+	}
+	sorted := append([]float64(nil), a.history...)
+	sort.Float64s(sorted)
+	med := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		med = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	if med <= 0 {
+		return math.Inf(1)
+	}
+	return a.multiple * med
+}
+
+// Fold implements StreamingAggregator.
+func (a *StreamingNormBound) Fold(u *Update) error {
+	if u == nil {
+		return fmt.Errorf("fl: fold of nil update")
+	}
+	if len(a.prev) > 0 && len(u.State) != len(a.prev) {
+		return fmt.Errorf("fl: update from client %d has %d values, want %d", u.ClientID, len(u.State), len(a.prev))
+	}
+	if !isFinite(u.State) {
+		a.dropped++
+		return nil
+	}
+	norm := DeltaNorm(a.prev, u.State)
+	if len(a.prev) == 0 || norm <= a.bound {
+		if err := a.inner.Fold(u); err != nil {
+			return err
+		}
+		a.roundNorms = append(a.roundNorms, norm)
+		return nil
+	}
+	// Clip: keep the delta's direction, cap its magnitude at the bound.
+	scale := a.bound / norm
+	if cap(a.scratch) < len(u.State) {
+		a.scratch = make([]float64, len(u.State))
+	}
+	a.scratch = a.scratch[:len(u.State)]
+	for i := range a.scratch {
+		a.scratch[i] = a.prev[i] + scale*(u.State[i]-a.prev[i])
+	}
+	cu := *u
+	cu.State = a.scratch
+	if err := a.inner.Fold(&cu); err != nil {
+		return err
+	}
+	a.roundNorms = append(a.roundNorms, a.bound)
+	return nil
+}
+
+// Finalize implements StreamingAggregator: the round's accepted norms are
+// sorted (so the window's content is independent of arrival order) and
+// appended to the trailing window before the inner average finalizes.
+func (a *StreamingNormBound) Finalize() ([]float64, error) {
+	if a.inner.Count() == 0 && a.dropped > 0 {
+		return nil, fmt.Errorf("fl: norm-bounded FedAvg: every update carries non-finite values")
+	}
+	sort.Float64s(a.roundNorms)
+	a.history = append(a.history, a.roundNorms...)
+	if len(a.history) > a.window {
+		a.history = a.history[len(a.history)-a.window:]
+	}
+	a.roundNorms = a.roundNorms[:0]
+	return a.inner.Finalize()
+}
+
+// MemoryBytes reports the accumulator footprint.
+func (a *StreamingNormBound) MemoryBytes() int {
+	return a.inner.MemoryBytes() + (len(a.history)+cap(a.scratch))*8
+}
+
+// ExportNorms copies the trailing accepted-norm window for checkpointing,
+// so a crash/resume keeps clipping against the same calibration.
+func (a *StreamingNormBound) ExportNorms() []float64 {
+	return append([]float64(nil), a.history...)
+}
+
+// ImportNorms restores a checkpointed norm window.
+func (a *StreamingNormBound) ImportNorms(norms []float64) {
+	a.history = append(a.history[:0], norms...)
+}
+
+// NormCarrier is implemented by streaming aggregators with calibration
+// state worth checkpointing (StreamingNormBound's trailing norm window).
+type NormCarrier interface {
+	ExportNorms() []float64
+	ImportNorms([]float64)
+}

@@ -5,7 +5,9 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/data"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -129,6 +131,7 @@ func TestSystemDeterministicAcrossRuns(t *testing.T) {
 }
 
 func TestSystemParallelMatchesSequentialAggregate(t *testing.T) {
+	chaos.GuardTest(t, 5*time.Second)
 	cfgSeq := smallConfig()
 	cfgPar := smallConfig()
 	cfgPar.Parallel = true
@@ -152,6 +155,7 @@ func TestSystemParallelMatchesSequentialAggregate(t *testing.T) {
 }
 
 func TestSystemCancellation(t *testing.T) {
+	chaos.GuardTest(t, 5*time.Second)
 	sys, err := NewSystem(smallConfig(), &noneDefense{})
 	if err != nil {
 		t.Fatal(err)

@@ -27,4 +27,11 @@ var (
 		"updates dropped because the sender was serving a quarantine penalty")
 	telQuarantineOccupancy = telemetry.NewGauge("dinar_fl_quarantine_occupancy",
 		"clients currently serving a quarantine penalty")
+	telAggUpdateBytesPeak = telemetry.NewGauge("dinar_fl_agg_update_bytes_peak",
+		"peak bytes of client update payloads (plus any streaming accumulator) resident in the aggregation path; the materialized path holds the whole cohort, the streaming path one update")
 )
+
+// ResetAggPeakBytes zeroes the aggregation peak-memory gauge. The gauge is
+// monotone within a federation (SetMax); scale tests comparing runs of
+// different cohort sizes reset it between runs.
+func ResetAggPeakBytes() { telAggUpdateBytesPeak.Set(0) }

@@ -1,0 +1,162 @@
+package fleetsim
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/defense"
+	"repro/internal/fl"
+	"repro/internal/flnet"
+)
+
+func TestMemListenerDialAccept(t *testing.T) {
+	ln := Listen(4)
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Dial()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		conn.SetWriteDeadline(time.Now().Add(time.Second))
+		_, err = conn.Write([]byte("hi"))
+		done <- err
+	}()
+
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 2)
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hi" {
+		t.Fatalf("read %q", buf)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemListenerDeadline(t *testing.T) {
+	ln := Listen(1)
+	defer ln.Close()
+
+	// An already-expired deadline fails immediately with a timeout
+	// net.Error, like a *net.TCPListener.
+	ln.SetDeadline(time.Now().Add(-time.Second))
+	_, err := ln.Accept()
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want timeout net.Error, got %v", err)
+	}
+
+	// Shortening the deadline must wake a Accept already blocked on the
+	// old (infinite) one — flnet's drain path depends on this.
+	ln.SetDeadline(time.Time{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	ln.SetDeadline(time.Now())
+	select {
+	case err := <-errCh:
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("want timeout net.Error, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept did not wake on SetDeadline")
+	}
+
+	ln.Close()
+	if _, err := ln.Accept(); !errors.Is(err, ErrListenerClosed) {
+		t.Fatalf("want ErrListenerClosed, got %v", err)
+	}
+	if _, err := ln.Dial(); !errors.Is(err, ErrListenerClosed) {
+		t.Fatalf("want ErrListenerClosed after close, got %v", err)
+	}
+}
+
+func TestSynthStateDeterministic(t *testing.T) {
+	a := SynthState(7, 3, 2, 64, nil)
+	b := SynthState(7, 3, 2, 64, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("coordinate %d differs: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < -1 || a[i] >= 1 {
+			t.Fatalf("coordinate %d out of [-1,1): %v", i, a[i])
+		}
+	}
+	c := SynthState(7, 3, 3, 64, nil)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("round 2 and round 3 states are identical")
+	}
+}
+
+// TestFleetFederation drives a real flnet server with a simulated fleet
+// over the in-memory listener: every client must finish with the final
+// model and every round must aggregate the full cohort.
+func TestFleetFederation(t *testing.T) {
+	chaos.GuardTest(t, 5*time.Second)
+	const (
+		numClients = 16
+		rounds     = 3
+		dim        = 32
+	)
+	def := defense.NewNone()
+	if err := def.Bind(fl.ModelInfo{NumParams: dim, NumState: dim}); err != nil {
+		t.Fatal(err)
+	}
+	ln := Listen(numClients)
+	srv, err := flnet.NewServer(flnet.ServerConfig{
+		NumClients:   numClients,
+		Rounds:       rounds,
+		Defense:      def,
+		InitialState: make([]float64, dim),
+		Listener:     ln,
+		IOTimeout:    20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	fleet := &Fleet{N: numClients, Dim: dim, Seed: 11, Dial: ln.Dial, IOTimeout: 20 * time.Second}
+	statsCh := make(chan *Stats, 1)
+	go func() { statsCh <- fleet.Run(ctx) }()
+
+	final, err := srv.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != dim {
+		t.Fatalf("final state has %d values, want %d", len(final), dim)
+	}
+	stats := <-statsCh
+	if got := stats.Done.Load(); got != numClients {
+		t.Fatalf("%d/%d clients received the final model (gave up %d)", got, numClients, stats.GaveUp.Load())
+	}
+	if got := stats.Updates.Load(); got != numClients*rounds {
+		t.Fatalf("fleet wrote %d updates, want %d", got, numClients*rounds)
+	}
+}

@@ -233,6 +233,13 @@ func runSession(ctx context.Context, cfg ClientConfig, lastCompleted *int) ([]fl
 		}
 		switch msg.Kind {
 		case KindGlobal:
+			// A cohort-aware defense (secure aggregation) masks against the
+			// round's sampled cohort, which the server attaches to the
+			// broadcast; without the announcement the mask graph defaults to
+			// the full registered fleet.
+			if ca, ok := cfg.Defense.(fl.CohortAware); ok && len(msg.Cohort) > 0 {
+				ca.SetRoundCohort(msg.Round, msg.Cohort)
+			}
 			u, err := cfg.Trainer.RunRound(msg.Round, msg.State, cfg.Defense, nil)
 			if err != nil {
 				conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/defense"
@@ -78,6 +79,7 @@ func TestKindString(t *testing.T) {
 // federation spins up a real TCP server plus numClients goroutine clients
 // and runs the complete protocol.
 func federation(t *testing.T, defenseName string, numClients, rounds int) ([]float64, []*fl.Client) {
+	chaos.GuardTest(t, 10*time.Second)
 	t.Helper()
 	const seed = 5
 	spec, err := data.Lookup("purchase100")
@@ -280,6 +282,7 @@ func TestClientDialFailure(t *testing.T) {
 }
 
 func TestServerRejectsDuplicateClientIDs(t *testing.T) {
+	chaos.GuardTest(t, 10*time.Second)
 	m0, _ := model.Build(data.Registry["purchase100"], rand.New(rand.NewSource(1)))
 	def := defense.NewNone()
 	if err := def.Bind(fl.InfoOf(m0)); err != nil {
@@ -326,6 +329,7 @@ func TestServerRejectsDuplicateClientIDs(t *testing.T) {
 }
 
 func TestServerSurfacesClientFailureMidRound(t *testing.T) {
+	chaos.GuardTest(t, 10*time.Second)
 	m0, _ := model.Build(data.Registry["purchase100"], rand.New(rand.NewSource(1)))
 	def := defense.NewNone()
 	if err := def.Bind(fl.InfoOf(m0)); err != nil {
@@ -367,6 +371,7 @@ func TestServerSurfacesClientFailureMidRound(t *testing.T) {
 }
 
 func TestServerSurfacesClientErrorFrame(t *testing.T) {
+	chaos.GuardTest(t, 10*time.Second)
 	m0, _ := model.Build(data.Registry["purchase100"], rand.New(rand.NewSource(1)))
 	def := defense.NewNone()
 	if err := def.Bind(fl.InfoOf(m0)); err != nil {

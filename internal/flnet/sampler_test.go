@@ -1,0 +1,211 @@
+package flnet
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/defense"
+	"repro/internal/fl"
+)
+
+// TestSampleOrderDeterministic: the draw is a pure function of
+// (seed, round, membership set) — input order and process state are
+// irrelevant, which is what makes crash/resume cohorts replayable.
+func TestSampleOrderDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		ids := rng.Perm(1000)[:n]
+		seed := rng.Int63()
+		round := rng.Intn(500)
+
+		a := SampleOrder(seed, round, ids)
+
+		// Same set, different input order: same draw.
+		shuffled := append([]int(nil), ids...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b := SampleOrder(seed, round, shuffled)
+
+		if len(a) != n || len(b) != n {
+			t.Fatalf("draw changed cardinality: %d/%d of %d", len(a), len(b), n)
+		}
+		seen := make(map[int]bool, n)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: draw depends on input order at %d: %d vs %d", trial, i, a[i], b[i])
+			}
+			seen[a[i]] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("trial %d: draw is not a permutation (%d distinct of %d)", trial, len(seen), n)
+		}
+	}
+}
+
+// TestSampleOrderVariesByRoundAndSeed: different rounds (and different
+// seeds) give independent draws, so cohort rotation actually happens.
+func TestSampleOrderVariesByRoundAndSeed(t *testing.T) {
+	ids := make([]int, 64)
+	for i := range ids {
+		ids[i] = i
+	}
+	same := func(a, b []int) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	base := SampleOrder(5, 0, ids)
+	if same(base, SampleOrder(5, 1, ids)) {
+		t.Fatal("round 0 and round 1 drew the same order")
+	}
+	if same(base, SampleOrder(6, 0, ids)) {
+		t.Fatal("seeds 5 and 6 drew the same order")
+	}
+	if !same(base, SampleOrder(5, 0, ids)) {
+		t.Fatal("same inputs drew different orders")
+	}
+}
+
+// TestSampleOrderDoesNotMutateInput guards the pure-function contract.
+func TestSampleOrderDoesNotMutateInput(t *testing.T) {
+	ids := []int{9, 4, 7, 1}
+	SampleOrder(1, 1, ids)
+	if ids[0] != 9 || ids[1] != 4 || ids[2] != 7 || ids[3] != 1 {
+		t.Fatalf("input slice mutated: %v", ids)
+	}
+}
+
+// boundDefense returns a defense bound to a dim-sized synthetic layout.
+func boundDefense(t *testing.T, dim int) fl.Defense {
+	t.Helper()
+	def := defense.NewNone()
+	if err := def.Bind(fl.ModelInfo{NumParams: dim, NumState: dim}); err != nil {
+		t.Fatal(err)
+	}
+	return def
+}
+
+// TestSamplingConfigValidation covers the startup rejections added with
+// sampling and async mode: an unreachable quorum, a negative staleness
+// bound, and a cohort-aware defense in async mode must all fail fast with
+// an explanatory error instead of stalling (or corrupting) rounds later.
+func TestSamplingConfigValidation(t *testing.T) {
+	dim := 4
+	base := func() ServerConfig {
+		return ServerConfig{
+			Addr:         "127.0.0.1:0",
+			NumClients:   8,
+			Rounds:       2,
+			Defense:      boundDefense(t, dim),
+			InitialState: make([]float64, dim),
+		}
+	}
+
+	t.Run("quorum exceeds sample size", func(t *testing.T) {
+		cfg := base()
+		cfg.SampleSize = 3
+		cfg.MinClients = 5
+		_, err := NewServer(cfg)
+		if err == nil || !strings.Contains(err.Error(), "exceeds sample size") {
+			t.Fatalf("want quorum/sample-size error, got %v", err)
+		}
+	})
+	t.Run("sample size out of range", func(t *testing.T) {
+		cfg := base()
+		cfg.SampleSize = 9
+		if _, err := NewServer(cfg); err == nil {
+			t.Fatal("accepted SampleSize > NumClients")
+		}
+		cfg.SampleSize = -1
+		if _, err := NewServer(cfg); err == nil {
+			t.Fatal("accepted negative SampleSize")
+		}
+	})
+	t.Run("negative staleness", func(t *testing.T) {
+		cfg := base()
+		cfg.AsyncStaleness = -1
+		if _, err := NewServer(cfg); err == nil {
+			t.Fatal("accepted negative AsyncStaleness")
+		}
+	})
+	t.Run("cohort-aware defense in async mode", func(t *testing.T) {
+		cfg := base()
+		sa := defense.NewSA(1, cfg.NumClients)
+		if err := sa.Bind(fl.ModelInfo{NumParams: dim, NumState: dim}); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Defense = sa
+		cfg.AsyncStaleness = 2
+		cfg.MinClients = 8
+		_, err := NewServer(cfg)
+		if err == nil || !strings.Contains(err.Error(), "cohort-aware") {
+			t.Fatalf("want cohort-aware/async error, got %v", err)
+		}
+	})
+}
+
+// TestCheckpointSampleSeedAdoption: a resume adopts the checkpoint's
+// sampling seed when the config leaves it unset, and refuses a conflicting
+// one — a silently different draw would break cohort replayability.
+func TestCheckpointSampleSeedAdoption(t *testing.T) {
+	dim := 4
+	path := filepath.Join(t.TempDir(), "global.ckpt")
+	snap := &checkpoint.Snapshot{
+		Round:      3,
+		State:      make([]float64, dim),
+		SampleSeed: 77,
+		SampleSize: 4,
+	}
+	if err := checkpoint.SaveFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(seed int64, size int) (*Server, error) {
+		return NewServer(ServerConfig{
+			Addr:           "127.0.0.1:0",
+			NumClients:     8,
+			MinClients:     2,
+			SampleSize:     size,
+			SampleSeed:     seed,
+			Rounds:         5,
+			Defense:        boundDefense(t, dim),
+			InitialState:   make([]float64, dim),
+			CheckpointPath: path,
+			IOTimeout:      time.Second,
+		})
+	}
+
+	// Conflicting seed: refused.
+	if _, err := mk(78, 4); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("want seed-conflict error, got %v", err)
+	}
+	// Conflicting sample size: refused.
+	if _, err := mk(77, 5); err == nil || !strings.Contains(err.Error(), "sampled") {
+		t.Fatalf("want sample-size-conflict error, got %v", err)
+	}
+	// Unset seed: adopted from the checkpoint.
+	srv, err := mk(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got := srv.cfg.SampleSeed; got != 77 {
+		t.Fatalf("resumed server uses seed %d, want the checkpointed 77", got)
+	}
+	if srv.StartRound() != 3 {
+		t.Fatalf("resumed at round %d, want 3", srv.StartRound())
+	}
+	// Matching explicit seed: accepted.
+	srv2, err := mk(77, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.Close()
+}

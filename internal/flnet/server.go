@@ -30,6 +30,41 @@ type ServerConfig struct {
 	// set of at least MinClients updates (FedAvg sample-weights partial
 	// cohorts). 0 means NumClients, i.e. no partial rounds.
 	MinClients int
+	// SampleSize, when positive, samples K = SampleSize of the eligible
+	// (live, non-quarantined) clients into each round's cohort instead of
+	// broadcasting to everyone. The draw is deterministic given
+	// (SampleSeed, round, membership) — see SampleOrder — so a resumed
+	// server re-draws identical cohorts. Sampled clients that fail or
+	// time out are replaced from the remainder of the same deterministic
+	// order (quorum fallback), unless the defense is cohort-aware (secure
+	// aggregation's mask graph cannot absorb substitutes mid-round). 0
+	// means every live client participates in every round.
+	SampleSize int
+	// SampleSeed seeds the per-round cohort draw. 0 means "unset": a
+	// checkpoint resume adopts the recorded seed, otherwise
+	// SampleSeedDefault applies.
+	SampleSeed int64
+	// SampleSeedDefault is the seed used when SampleSeed is 0 and no
+	// checkpoint seed was adopted (fresh federation, or a checkpoint
+	// recorded without sampling). 0 means 1. Lets callers map "unset =
+	// the experiment seed" without defeating checkpoint adoption.
+	SampleSeedDefault int64
+	// AsyncStaleness, when positive, switches rounds to buffered async
+	// collection: a straggler's update is not discarded at the round
+	// boundary but buffered and folded into a later round — weighted down
+	// by its age via fl.StalenessWeight — as long as it is at most
+	// AsyncStaleness rounds old. Rounds complete as soon as MinClients
+	// updates are accepted and never block on stragglers. 0 means
+	// synchronous rounds. Incompatible with cohort-aware defenses (stale
+	// updates' pairwise masks cannot cancel across cohorts).
+	AsyncStaleness int
+	// Streaming folds each update into an O(model) running accumulator as
+	// it arrives instead of materializing the whole cohort's updates
+	// (O(clients × model)). Requires a defense whose aggregation rule can
+	// stream (fl.StreamingCapable); otherwise the server logs a warning,
+	// increments dinar_flnet_streaming_fallback_total, and falls back to
+	// materialized aggregation.
+	Streaming bool
 	// Rounds is the number of FL rounds to run.
 	Rounds int
 	// RoundDeadline bounds one round's update collection; after it expires
@@ -139,6 +174,12 @@ type RoundReport struct {
 	// Clipped lists the client ids whose update deltas were norm-clipped
 	// before aggregation.
 	Clipped []int
+	// Sampled lists the round's sampled cohort ids in draw order (nil when
+	// sampling is off); replacements drawn after evictions are appended.
+	Sampled []int
+	// Stale counts staleness-weighted updates from earlier rounds folded
+	// into this round (async mode only).
+	Stale int
 	// Err joins the errors of every failed client in the round; it may be
 	// non-nil even when the round aggregated successfully with a quorum.
 	Err error
@@ -193,6 +234,22 @@ type Server struct {
 	// Accept-path admission control for the rejoin phase.
 	admit  *tokenBucket
 	regSem chan struct{}
+
+	// streamAgg is the defense's streaming aggregator (nil means
+	// materialized aggregation); cohortAware is non-nil when the defense
+	// needs each round's sampled cohort announced (secure aggregation's
+	// mask graph).
+	streamAgg   fl.StreamingAggregator
+	cohortAware fl.CohortAware
+
+	// Async-mode state, owned by the round loop: asyncCh receives every
+	// exchange result (buffered to NumClients so exchange goroutines never
+	// block, whichever round consumes them), busy tracks in-flight
+	// exchanges across round boundaries, and asyncBuf holds accepted late
+	// updates awaiting a staleness-weighted fold.
+	asyncCh  chan result
+	busy     map[int]*session
+	asyncBuf []*fl.Update
 }
 
 // tokenBucket is a minimal mutex-guarded token bucket (stdlib only): allow
@@ -245,8 +302,23 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MinClients < 1 || cfg.MinClients > cfg.NumClients {
 		return nil, fmt.Errorf("flnet: MinClients %d outside [1,%d]", cfg.MinClients, cfg.NumClients)
 	}
+	if cfg.SampleSize < 0 || cfg.SampleSize > cfg.NumClients {
+		return nil, fmt.Errorf("flnet: SampleSize %d outside [0,%d]", cfg.SampleSize, cfg.NumClients)
+	}
+	if cfg.SampleSize > 0 && cfg.MinClients > cfg.SampleSize {
+		return nil, fmt.Errorf("flnet: quorum MinClients %d exceeds sample size %d: no round could ever reach quorum; lower MinClients or raise SampleSize",
+			cfg.MinClients, cfg.SampleSize)
+	}
+	if cfg.AsyncStaleness < 0 {
+		return nil, fmt.Errorf("flnet: negative AsyncStaleness %d", cfg.AsyncStaleness)
+	}
 	if cfg.Defense == nil {
 		return nil, fmt.Errorf("flnet: nil defense")
+	}
+	cohortAware, _ := cfg.Defense.(fl.CohortAware)
+	if cohortAware != nil && cfg.AsyncStaleness > 0 {
+		return nil, fmt.Errorf("flnet: defense %q is cohort-aware (secure aggregation): staleness-buffered updates would carry pairwise masks from an older cohort that cannot cancel; run it synchronously",
+			cfg.Defense.Name())
 	}
 	if cfg.IOTimeout == 0 {
 		cfg.IOTimeout = 2 * time.Minute
@@ -285,6 +357,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 
 	state := cfg.InitialState
 	startRound := 0
+	var (
+		resumeAsync []checkpoint.AsyncUpdate
+		streamNorms []float64
+	)
 	if cfg.CheckpointPath != "" {
 		snap, skipped, err := checkpoint.LoadLatestValid(cfg.CheckpointPath)
 		for _, p := range skipped {
@@ -314,8 +390,32 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 					Norms:        snap.Quarantine.Norms,
 				})
 			}
+			// Re-drawing bit-identical cohorts after a crash needs the
+			// original sampling draw: adopt the recorded seed when the
+			// config left it unset, and refuse a conflicting one — a
+			// silently different draw would break replayability.
+			if snap.SampleSeed != 0 {
+				switch {
+				case cfg.SampleSeed == 0:
+					cfg.SampleSeed = snap.SampleSeed
+				case cfg.SampleSeed != snap.SampleSeed:
+					return nil, fmt.Errorf("flnet: checkpoint sampled with seed %d, config says %d", snap.SampleSeed, cfg.SampleSeed)
+				}
+			}
+			if snap.SampleSize != 0 && cfg.SampleSize != 0 && snap.SampleSize != cfg.SampleSize {
+				return nil, fmt.Errorf("flnet: checkpoint sampled %d clients per round, config says %d", snap.SampleSize, cfg.SampleSize)
+			}
+			resumeAsync = snap.Async
+			streamNorms = snap.StreamNorms
 			events.Eventf(startRound, -1, "flnet: resuming from checkpoint %s at round %d (generation %d)",
 				cfg.CheckpointPath, startRound, snap.Generation)
+		}
+	}
+	// Normalized after checkpoint adoption so 0 stays the "unset" marker
+	// until the recorded seed has had its chance.
+	if cfg.SampleSize > 0 && cfg.SampleSeed == 0 {
+		if cfg.SampleSeed = cfg.SampleSeedDefault; cfg.SampleSeed == 0 {
+			cfg.SampleSeed = 1
 		}
 	}
 
@@ -328,6 +428,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		core.SetScreen(screen)
 	}
 
+	var streamAgg fl.StreamingAggregator
+	if cfg.Streaming {
+		streamAgg = fl.StreamingOf(cfg.Defense)
+		if streamAgg == nil {
+			telStreamingFallback.Inc()
+			events.Eventf(-1, -1, "flnet: defense %q has no streaming aggregation rule; falling back to materialized aggregation",
+				cfg.Defense.Name())
+		} else if nc, ok := streamAgg.(fl.NormCarrier); ok && len(streamNorms) > 0 {
+			// The streaming norm bound calibrates against a trailing
+			// cross-round window; restore it so the resumed server clips
+			// with the same bound the crashed one would have.
+			nc.ImportNorms(streamNorms)
+		}
+	}
+
 	ln := cfg.Listener
 	if ln == nil {
 		ln, err = net.Listen("tcp", cfg.Addr)
@@ -335,24 +450,39 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			return nil, fmt.Errorf("flnet: listen %s: %w", cfg.Addr, err)
 		}
 	}
-	return &Server{
-		cfg:        cfg,
-		ln:         ln,
-		core:       core,
-		screen:     screen,
-		startRound: startRound,
-		events:     events,
-		live:       make(map[int]*session, cfg.NumClients),
-		curRound:   startRound,
-		ckptRound:  -1,
-		status:     "waiting",
-		joinCh:     make(chan *session, cfg.NumClients),
-		runDone:    make(chan struct{}),
-		drainCh:    make(chan struct{}),
-		drainKill:  make(chan struct{}),
-		admit:      newTokenBucket(cfg.RegisterRate, cfg.RegisterBurst),
-		regSem:     make(chan struct{}, cfg.MaxInflightRegistrations),
-	}, nil
+	srv := &Server{
+		cfg:         cfg,
+		ln:          ln,
+		core:        core,
+		screen:      screen,
+		startRound:  startRound,
+		events:      events,
+		live:        make(map[int]*session, cfg.NumClients),
+		curRound:    startRound,
+		ckptRound:   -1,
+		status:      "waiting",
+		joinCh:      make(chan *session, cfg.NumClients),
+		runDone:     make(chan struct{}),
+		drainCh:     make(chan struct{}),
+		drainKill:   make(chan struct{}),
+		admit:       newTokenBucket(cfg.RegisterRate, cfg.RegisterBurst),
+		regSem:      make(chan struct{}, cfg.MaxInflightRegistrations),
+		streamAgg:   streamAgg,
+		cohortAware: cohortAware,
+	}
+	if cfg.AsyncStaleness > 0 {
+		srv.asyncCh = make(chan result, cfg.NumClients)
+		srv.busy = make(map[int]*session, cfg.NumClients)
+		for _, au := range resumeAsync {
+			srv.asyncBuf = append(srv.asyncBuf, &fl.Update{
+				ClientID:   au.ClientID,
+				Round:      au.Round,
+				State:      au.State,
+				NumSamples: au.NumSamples,
+			})
+		}
+	}
+	return srv, nil
 }
 
 // Shutdown gracefully drains the server: registration stops admitting new
@@ -517,8 +647,28 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		s.status = "running"
 		s.mu.Unlock()
 		telRoundsStarted.Inc()
-		updates, report, err := s.runRound(ctx, round)
+		streaming := s.streamAgg != nil
+		if streaming {
+			if err := s.core.BeginRound(s.streamAgg); err != nil {
+				return nil, fmt.Errorf("flnet: round %d: %w", round, err)
+			}
+		}
+		var (
+			updates []*fl.Update
+			report  RoundReport
+			err     error
+		)
+		if s.cfg.AsyncStaleness > 0 {
+			updates, report, err = s.runRoundAsync(ctx, round)
+		} else {
+			updates, report, err = s.runRound(ctx, round)
+		}
 		if err != nil {
+			if streaming {
+				// Abandon the armed streaming round; screen offenses booked
+				// during it stick.
+				s.core.AbortRound()
+			}
 			s.mu.Lock()
 			s.reports = append(s.reports, report)
 			s.mu.Unlock()
@@ -531,11 +681,26 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 			}
 			return nil, fmt.Errorf("flnet: round %d: %w", round, err)
 		}
-		// Arrival order is nondeterministic; aggregate in client order so a
-		// federation's result is reproducible run-to-run (and across a
-		// checkpoint resume).
-		sort.Slice(updates, func(i, j int) bool { return updates[i].ClientID < updates[j].ClientID })
-		aggErr := s.core.Aggregate(updates)
+		var aggErr error
+		if streaming {
+			// The round's updates were folded one at a time as they arrived
+			// (runRound → core.Offer); finalize the accumulator.
+			aggErr = s.core.FinishRound()
+		} else {
+			// Arrival order is nondeterministic; aggregate in client order so a
+			// federation's result is reproducible run-to-run (and across a
+			// checkpoint resume).
+			sort.Slice(updates, func(i, j int) bool { return updates[i].ClientID < updates[j].ClientID })
+			aggErr = s.core.Aggregate(updates)
+			// The cohort's update payloads are dead once aggregated (every
+			// aggregation rule returns freshly allocated state): recycle
+			// their buffers so the next round's reads reuse them instead of
+			// re-allocating O(cohort × model).
+			for _, u := range updates {
+				PutState(u.State)
+				u.State = nil
+			}
+		}
 		agg := s.core.LastAggTiming()
 		report.Timing.Screen = agg.Screen
 		report.Timing.Aggregate = agg.Aggregate
@@ -612,6 +777,24 @@ func (s *Server) saveCheckpoint() error {
 			Norms:        st.Norms,
 		}
 	}
+	// Sampling and async state ride along so a resumed server re-draws the
+	// same cohorts and replays buffered stragglers: exact across a graceful
+	// drain; across a hard crash the buffer reflects the last completed
+	// round's save (in-flight exchanges are lost either way — the clients
+	// redial and re-train).
+	snap.SampleSeed = s.cfg.SampleSeed
+	snap.SampleSize = s.cfg.SampleSize
+	for _, u := range s.asyncBuf {
+		snap.Async = append(snap.Async, checkpoint.AsyncUpdate{
+			ClientID:   u.ClientID,
+			Round:      u.Round,
+			NumSamples: u.NumSamples,
+			State:      u.State,
+		})
+	}
+	if nc, ok := s.streamAgg.(fl.NormCarrier); ok {
+		snap.StreamNorms = nc.ExportNorms()
+	}
 	if err := checkpoint.SaveFile(s.cfg.CheckpointPath, snap); err != nil {
 		return err
 	}
@@ -627,6 +810,26 @@ func (s *Server) saveCheckpoint() error {
 // and Run returns the partial global state alongside ErrDraining.
 func (s *Server) drainExit(round int) ([]float64, error) {
 	var errs []error
+	// Sweep results that arrived since the last round closed into the async
+	// buffer so the final checkpoint carries them; exchanges still in flight
+	// are lost (their clients redial after the restart).
+	if s.asyncCh != nil {
+	sweep:
+		for {
+			select {
+			case res := <-s.asyncCh:
+				if s.busy[res.sess.clientID] == res.sess {
+					delete(s.busy, res.sess.clientID)
+				}
+				if res.err == nil {
+					s.asyncBuf = append(s.asyncBuf, res.u)
+				}
+			default:
+				break sweep
+			}
+		}
+		telAsyncBuffered.Set(int64(len(s.asyncBuf)))
+	}
 	if s.cfg.CheckpointPath != "" {
 		s.mu.Lock()
 		behind := s.ckptRound < s.core.Round()
@@ -848,48 +1051,117 @@ type result struct {
 	sendDur time.Duration
 }
 
+// sampleCohort draws the round's cohort. Without sampling every live
+// session participates (nil queue). With sampling, the eligible set is the
+// live, non-quarantined membership; the first SampleSize ids of the
+// deterministic draw form the cohort and the remainder — in draw order — is
+// the replacement queue for the quorum fallback. exclude (optional) removes
+// ids from eligibility (async mode's in-flight and already-counted
+// clients).
+func (s *Server) sampleCohort(round int, exclude map[int]bool) (cohort, queue []*session, cohortIDs []int) {
+	s.mu.Lock()
+	liveSessions := make(map[int]*session, len(s.live))
+	for id, sess := range s.live {
+		liveSessions[id] = sess
+	}
+	s.mu.Unlock()
+
+	if s.cfg.SampleSize <= 0 {
+		for id, sess := range liveSessions {
+			if exclude[id] {
+				continue
+			}
+			cohort = append(cohort, sess)
+		}
+		return cohort, nil, nil
+	}
+	ids := make([]int, 0, len(liveSessions))
+	for id := range liveSessions {
+		if exclude[id] {
+			continue
+		}
+		if s.screen != nil && s.screen.Quarantined(id, round) {
+			continue // quarantined clients are never sampled
+		}
+		ids = append(ids, id)
+	}
+	order := SampleOrder(s.cfg.SampleSeed, round, ids)
+	k := s.cfg.SampleSize
+	if k > len(order) {
+		k = len(order)
+	}
+	for _, id := range order[:k] {
+		cohort = append(cohort, liveSessions[id])
+		cohortIDs = append(cohortIDs, id)
+	}
+	for _, id := range order[k:] {
+		queue = append(queue, liveSessions[id])
+	}
+	telSampledCohort.Set(int64(len(cohort)))
+	return cohort, queue, cohortIDs
+}
+
 // runRound broadcasts the global state and collects updates until every
-// live client reported, or — after RoundDeadline — a quorum of MinClients
-// did. Failed or straggling clients are evicted (they may rejoin later);
-// every client error of the round is joined into the report.
+// launched client reported, or — after RoundDeadline — a quorum of
+// MinClients did. Failed or straggling clients are evicted (they may rejoin
+// later); with sampling on, evicted cohort members are replaced from the
+// deterministic draw's remainder so a partitioned cohort slice doesn't
+// stall the round; every client error of the round is joined into the
+// report. With streaming aggregation armed, each update is screened and
+// folded the moment it arrives and its buffer recycled — the returned
+// updates slice stays nil and the caller finalizes via core.FinishRound.
 func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundReport, error) {
 	global := s.core.GlobalState()
 	report := RoundReport{Round: round}
 	roundStart := time.Now()
+	streaming := s.streamAgg != nil
+	sampling := s.cfg.SampleSize > 0
 
 	results := make(chan result, s.cfg.NumClients)
 	included := make(map[*session]bool)
 	pending := 0
 
+	cohort, queue, cohortIDs := s.sampleCohort(round, nil)
+	if sampling {
+		report.Sampled = append([]int(nil), cohortIDs...)
+	}
+
+	// A cohort-aware defense (secure aggregation) needs the mask graph
+	// restricted to the sampled cohort on both ends: announce it to the
+	// server-side defense and ship it in the round's broadcast.
+	// Replacements are disabled for it — a substitute's pairwise masks
+	// could not cancel against the cohort the others already masked for.
+	var announce []int
+	if s.cohortAware != nil && sampling {
+		announce = cohortIDs
+		s.cohortAware.SetRoundCohort(round, cohortIDs)
+	}
+	refill := sampling && s.cohortAware == nil
+
 	launch := func(sess *session) {
 		included[sess] = true
 		pending++
 		go func() {
-			u, sendDur, err := s.exchange(sess, round, global)
+			u, sendDur, err := s.exchange(sess, round, global, announce)
 			results <- result{sess: sess, u: u, err: err, sendDur: sendDur}
 		}()
 	}
-
-	s.mu.Lock()
-	cohort := make([]*session, 0, len(s.live))
-	for _, sess := range s.live {
-		cohort = append(cohort, sess)
-	}
-	s.mu.Unlock()
 	for _, sess := range cohort {
 		launch(sess)
 	}
 
+	var deadlineTimer *time.Timer
 	var deadlineCh <-chan time.Time
 	if s.cfg.RoundDeadline > 0 {
-		t := time.NewTimer(s.cfg.RoundDeadline)
-		defer t.Stop()
-		deadlineCh = t.C
+		deadlineTimer = time.NewTimer(s.cfg.RoundDeadline)
+		defer deadlineTimer.Stop()
+		deadlineCh = deadlineTimer.C
 	}
 
 	var (
 		updates     []*fl.Update
 		errs        []error
+		got         int // updates counted toward quorum
 		deadlineHit bool
 	)
 	evict := func(sess *session, err error) {
@@ -905,6 +1177,31 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 		if err != nil {
 			errs = append(errs, fmt.Errorf("client %d: %w", sess.clientID, err))
 		}
+	}
+	// refillOne replaces an evicted or straggling cohort member with the
+	// next id in the deterministic draw, keeping the round on course for
+	// quorum instead of stalling.
+	refillOne := func() bool {
+		if !refill || len(queue) == 0 {
+			return false
+		}
+		next := queue[0]
+		queue = queue[1:]
+		report.Sampled = append(report.Sampled, next.clientID)
+		telSampleReplacements.Inc()
+		launch(next)
+		return true
+	}
+	// restartDeadline gives freshly launched replacements their own
+	// collection window; safe to Reset because the timer has fired and its
+	// channel was drained whenever deadlineHit is true.
+	restartDeadline := func() {
+		if deadlineTimer == nil || !deadlineHit {
+			return
+		}
+		deadlineHit = false
+		deadlineTimer.Reset(s.cfg.RoundDeadline)
+		deadlineCh = deadlineTimer.C
 	}
 	// reap consumes the n results still owed to the channel so abandoned
 	// exchange goroutines can always complete their send and exit.
@@ -932,8 +1229,8 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 			s.mu.Unlock()
 			for _, sess := range stragglers {
 				done := false
-				for _, u := range updates {
-					if u.ClientID == sess.clientID {
+				for _, id := range report.Participants {
+					if id == sess.clientID {
 						done = true
 						break
 					}
@@ -954,15 +1251,16 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 
 	for {
 		if pending == 0 {
-			if len(updates) >= s.cfg.MinClients {
+			if got >= s.cfg.MinClients {
 				return finish()
 			}
-			// Below quorum with nothing in flight: without a deadline the
-			// round can never recover; with one, a rejoining client may
+			// Below quorum with nothing in flight: resample a replacement
+			// when the draw has any left; otherwise, without a deadline the
+			// round can never recover — with one, a rejoining client may
 			// still push the round to quorum before the deadline.
-			if deadlineCh == nil || deadlineHit {
+			if !refillOne() && (deadlineCh == nil || deadlineHit) {
 				report.Err = errors.Join(errs...)
-				return nil, report, fmt.Errorf("quorum not met: %d/%d updates: %w", len(updates), s.cfg.MinClients, report.Err)
+				return nil, report, fmt.Errorf("quorum not met: %d/%d updates: %w", got, s.cfg.MinClients, report.Err)
 			}
 		}
 		select {
@@ -982,28 +1280,283 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 			if res.sendDur > report.Timing.Broadcast {
 				report.Timing.Broadcast = res.sendDur
 			}
-			if res.err != nil {
+			switch {
+			case res.err != nil:
 				evict(res.sess, res.err)
-			} else {
+				if refillOne() {
+					restartDeadline()
+				}
+			case streaming:
+				// Screen and fold immediately, then recycle the buffer. The
+				// screen's verdicts land in the post-round report exactly
+				// like the materialized path (applyScreenOutcome); a fold
+				// error is structural, so the sender is evicted.
+				_, err := s.core.Offer(res.u)
+				PutState(res.u.State)
+				res.u.State = nil
+				if err != nil {
+					evict(res.sess, err)
+					if refillOne() {
+						restartDeadline()
+					}
+					break
+				}
+				got++
+				report.Participants = append(report.Participants, res.sess.clientID)
+			default:
 				updates = append(updates, res.u)
+				got++
 				report.Participants = append(report.Participants, res.sess.clientID)
 			}
-			if deadlineHit && len(updates) >= s.cfg.MinClients {
+			if deadlineHit && got >= s.cfg.MinClients {
 				return finish()
 			}
-			if pending == 0 && len(updates) >= s.cfg.MinClients {
+			if pending == 0 && got >= s.cfg.MinClients {
 				return finish()
 			}
 		case sess := <-s.joinCh:
-			if included[sess] {
-				break // already part of this round's cohort
+			if sampling || included[sess] {
+				// Sampled rounds take rejoiners from the next round's draw;
+				// the session is already in the live set.
+				break
 			}
 			launch(sess)
 		case <-deadlineCh:
 			deadlineHit = true
 			deadlineCh = nil
-			if len(updates) >= s.cfg.MinClients {
+			if got >= s.cfg.MinClients {
 				return finish()
+			}
+			// Below quorum at the deadline: pessimistically assume the
+			// stragglers never report and resample enough replacements to
+			// reach quorum, with a fresh collection window.
+			launched := 0
+			for got+launched < s.cfg.MinClients && refillOne() {
+				launched++
+			}
+			if launched > 0 {
+				s.logf(round, -1, "flnet: round %d: deadline passed below quorum (%d/%d); resampled %d replacements",
+					round, got, s.cfg.MinClients, launched)
+				restartDeadline()
+			}
+		}
+	}
+}
+
+// runRoundAsync is the buffered asynchronous variant of runRound: exchange
+// results flow through the server-lifetime asyncCh, and stragglers are
+// never evicted at a round boundary — their updates surface in a later
+// round, weighted down by age (fl.StalenessWeight), until they exceed
+// AsyncStaleness rounds and are dropped. The round completes as soon as
+// MinClients updates (buffered or fresh) are accepted.
+func (s *Server) runRoundAsync(ctx context.Context, round int) ([]*fl.Update, RoundReport, error) {
+	global := s.core.GlobalState()
+	report := RoundReport{Round: round}
+	roundStart := time.Now()
+	streaming := s.streamAgg != nil
+	sampling := s.cfg.SampleSize > 0
+
+	var (
+		updates []*fl.Update
+		errs    []error
+		got     int
+	)
+	evict := func(sess *session, err error) {
+		s.mu.Lock()
+		if s.live[sess.clientID] == sess {
+			delete(s.live, sess.clientID)
+			telLiveClients.Set(int64(len(s.live)))
+		}
+		s.mu.Unlock()
+		sess.conn.Close()
+		telClientsEvicted.Inc()
+		report.Dropped = append(report.Dropped, sess.clientID)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("client %d: %w", sess.clientID, err))
+		}
+	}
+	// accept folds one update into the round, weighted by its age in
+	// rounds; too-stale updates are dropped. sess is nil for updates
+	// restored from a checkpoint.
+	accept := func(u *fl.Update, sess *session) {
+		staleness := round - u.Round
+		if staleness > s.cfg.AsyncStaleness {
+			PutState(u.State)
+			u.State = nil
+			telAsyncStaleDropped.Inc()
+			s.logf(round, u.ClientID, "flnet: round %d: dropped update from client %d: %d rounds stale (max %d)",
+				round, u.ClientID, staleness, s.cfg.AsyncStaleness)
+			return
+		}
+		u.Staleness = staleness
+		if streaming {
+			_, err := s.core.Offer(u)
+			PutState(u.State)
+			u.State = nil
+			if err != nil {
+				if sess != nil {
+					evict(sess, err)
+				}
+				return
+			}
+		} else {
+			updates = append(updates, u)
+		}
+		got++
+		report.Participants = append(report.Participants, u.ClientID)
+		if staleness > 0 {
+			report.Stale++
+			telAsyncStaleAccepted.Inc()
+		}
+	}
+
+	// Sweep results that arrived since the last round closed into the
+	// buffer, then fold the whole buffer (each entry either counts toward
+	// this round's quorum or ages out).
+	consumeResult := func(res result) {
+		if s.busy[res.sess.clientID] == res.sess {
+			delete(s.busy, res.sess.clientID)
+		}
+		if res.sendDur > report.Timing.Broadcast {
+			report.Timing.Broadcast = res.sendDur
+		}
+		if res.err != nil {
+			evict(res.sess, res.err)
+			return
+		}
+		s.asyncBuf = append(s.asyncBuf, res.u)
+	}
+sweep:
+	for {
+		select {
+		case res := <-s.asyncCh:
+			consumeResult(res)
+		default:
+			break sweep
+		}
+	}
+	counted := make(map[int]bool, len(s.asyncBuf))
+	for _, u := range s.asyncBuf {
+		counted[u.ClientID] = true
+		accept(u, nil)
+	}
+	s.asyncBuf = s.asyncBuf[:0]
+
+	// Launch this round's cohort among clients with no exchange in flight
+	// and no update already counted this round. The broadcast always goes
+	// out — even when the buffer alone met quorum — so the fleet keeps
+	// training; fresh results that miss this round's close are buffered
+	// for the next.
+	exclude := make(map[int]bool, len(s.busy)+len(counted))
+	for id := range s.busy {
+		exclude[id] = true
+	}
+	for id := range counted {
+		exclude[id] = true
+	}
+	cohort, queue, cohortIDs := s.sampleCohort(round, exclude)
+	if sampling {
+		report.Sampled = append([]int(nil), cohortIDs...)
+	}
+	launch := func(sess *session) {
+		s.busy[sess.clientID] = sess
+		go func() {
+			u, sendDur, err := s.exchange(sess, round, global, nil)
+			s.asyncCh <- result{sess: sess, u: u, err: err, sendDur: sendDur}
+		}()
+	}
+	for _, sess := range cohort {
+		launch(sess)
+	}
+
+	refill := sampling
+	refillOne := func() bool {
+		if !refill || len(queue) == 0 {
+			return false
+		}
+		next := queue[0]
+		queue = queue[1:]
+		report.Sampled = append(report.Sampled, next.clientID)
+		telSampleReplacements.Inc()
+		launch(next)
+		return true
+	}
+
+	var deadlineTimer *time.Timer
+	var deadlineCh <-chan time.Time
+	deadlineHit := false
+	if s.cfg.RoundDeadline > 0 {
+		deadlineTimer = time.NewTimer(s.cfg.RoundDeadline)
+		defer deadlineTimer.Stop()
+		deadlineCh = deadlineTimer.C
+	}
+	restartDeadline := func() {
+		if deadlineTimer == nil || !deadlineHit {
+			return
+		}
+		deadlineHit = false
+		deadlineTimer.Reset(s.cfg.RoundDeadline)
+		deadlineCh = deadlineTimer.C
+	}
+
+	finish := func() ([]*fl.Update, RoundReport, error) {
+		report.Timing.Wait = time.Since(roundStart)
+		telRoundBroadcastSeconds.Observe(report.Timing.Broadcast.Seconds())
+		telRoundWaitSeconds.Observe(report.Timing.Wait.Seconds())
+		telAsyncBuffered.Set(int64(len(s.asyncBuf)))
+		report.Err = errors.Join(errs...)
+		return updates, report, nil
+	}
+
+	for {
+		if got >= s.cfg.MinClients {
+			return finish()
+		}
+		// Below quorum with no exchange in flight anywhere: resample if the
+		// draw has anyone left, otherwise nothing can ever arrive.
+		if len(s.busy) == 0 && !refillOne() {
+			report.Err = errors.Join(errs...)
+			return nil, report, fmt.Errorf("quorum not met: %d/%d updates: %w", got, s.cfg.MinClients, report.Err)
+		}
+		select {
+		case <-ctx.Done():
+			report.Err = errors.Join(errs...)
+			return nil, report, ctx.Err()
+		case <-s.drainKill:
+			report.Err = errors.Join(errs...)
+			return nil, report, ErrDraining
+		case res := <-s.asyncCh:
+			if s.busy[res.sess.clientID] == res.sess {
+				delete(s.busy, res.sess.clientID)
+			}
+			if res.sendDur > report.Timing.Broadcast {
+				report.Timing.Broadcast = res.sendDur
+			}
+			if res.err != nil {
+				evict(res.sess, res.err)
+				if refillOne() {
+					restartDeadline()
+				}
+				break
+			}
+			accept(res.u, res.sess)
+		case <-s.joinCh:
+			// Rejoiners become eligible at the next round's draw; the
+			// session is already in the live set.
+		case <-deadlineCh:
+			deadlineHit = true
+			deadlineCh = nil
+			// Stragglers are not evicted in async mode — their updates are
+			// still welcome later — but below quorum the round resamples
+			// replacements rather than waiting on them.
+			launched := 0
+			for got+launched < s.cfg.MinClients && refillOne() {
+				launched++
+			}
+			if launched > 0 {
+				s.logf(round, -1, "flnet: round %d: deadline passed below quorum (%d/%d); resampled %d replacements",
+					round, got, s.cfg.MinClients, launched)
+				restartDeadline()
 			}
 		}
 	}
@@ -1059,38 +1612,46 @@ func (s *Server) applyScreenOutcome(round int, report *RoundReport) {
 	}
 }
 
-// exchange sends the round's global state and reads the client's update.
-// sendDur is how long the send took (valid even on a failed exchange, as
-// long as the send itself completed).
-func (s *Server) exchange(sess *session, round int, global []float64) (u *fl.Update, sendDur time.Duration, err error) {
+// exchange sends the round's global state (with the sampled cohort attached
+// when the defense needs it) and reads the client's update into a pooled
+// state buffer — ownership of the buffer passes to the returned Update and
+// back to the pool once the server is done with it. sendDur is how long the
+// send took (valid even on a failed exchange, as long as the send itself
+// completed).
+func (s *Server) exchange(sess *session, round int, global []float64, cohort []int) (u *fl.Update, sendDur time.Duration, err error) {
 	sendStart := time.Now()
-	if err := s.send(sess, &Message{Kind: KindGlobal, Round: round, State: global}); err != nil {
+	if err := s.send(sess, &Message{Kind: KindGlobal, Round: round, State: global, Cohort: cohort}); err != nil {
 		return nil, 0, err
 	}
 	sendDur = time.Since(sendStart)
 	sess.conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
-	msg, err := ReadMessage(sess.conn)
-	if err != nil {
+	msg := &Message{State: GetState()}
+	if err := ReadMessageInto(sess.conn, msg); err != nil {
+		PutState(msg.State)
 		return nil, sendDur, err
+	}
+	fail := func(format string, args ...any) (*fl.Update, time.Duration, error) {
+		PutState(msg.State)
+		return nil, sendDur, fmt.Errorf(format, args...)
 	}
 	switch msg.Kind {
 	case KindUpdate:
 	case KindError:
-		return nil, sendDur, fmt.Errorf("client reported: %s", msg.Err)
+		return fail("client reported: %s", msg.Err)
 	default:
-		return nil, sendDur, fmt.Errorf("unexpected %v frame", msg.Kind)
+		return fail("unexpected %v frame", msg.Kind)
 	}
 	if msg.Round != round {
-		return nil, sendDur, fmt.Errorf("update for round %d during round %d", msg.Round, round)
+		return fail("update for round %d during round %d", msg.Round, round)
 	}
 	// Structural wire validation: a mis-sized vector or negative weight can
 	// only come from a broken or malicious peer; fail the exchange (and
 	// evict) instead of letting it reach the aggregation path.
 	if len(msg.State) != len(global) {
-		return nil, sendDur, fmt.Errorf("update state has %d values, want %d", len(msg.State), len(global))
+		return fail("update state has %d values, want %d", len(msg.State), len(global))
 	}
 	if msg.NumSamples < 0 {
-		return nil, sendDur, fmt.Errorf("update carries negative sample count %d", msg.NumSamples)
+		return fail("update carries negative sample count %d", msg.NumSamples)
 	}
 	return &fl.Update{
 		ClientID:   sess.clientID,

@@ -35,4 +35,18 @@ var (
 		"slowest global-state send of the round (the broadcast critical path)", nil)
 	telRoundWaitSeconds = telemetry.NewHistogram("dinar_flnet_round_wait_seconds",
 		"round start to quorum decision (training + collection wall time)", nil)
+
+	// Sampling, streaming, and async-mode instruments.
+	telSampledCohort = telemetry.NewGauge("dinar_flnet_sampled_cohort",
+		"clients sampled into the current round's cohort")
+	telSampleReplacements = telemetry.NewCounter("dinar_flnet_sample_replacements_total",
+		"replacement clients drawn after a sampled cohort member failed or straggled")
+	telStreamingFallback = telemetry.NewCounter("dinar_flnet_streaming_fallback_total",
+		"servers that requested streaming aggregation but fell back to materialized (non-streaming defense rule)")
+	telAsyncStaleAccepted = telemetry.NewCounter("dinar_flnet_async_stale_accepted_total",
+		"staleness-weighted updates from earlier rounds folded into a later round")
+	telAsyncStaleDropped = telemetry.NewCounter("dinar_flnet_async_stale_dropped_total",
+		"buffered updates dropped for exceeding the async staleness bound")
+	telAsyncBuffered = telemetry.NewGauge("dinar_flnet_async_buffered",
+		"late updates currently buffered for a future round's staleness-weighted fold")
 )

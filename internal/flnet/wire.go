@@ -104,6 +104,12 @@ type Message struct {
 	// meaningful on KindDrain (0 means the client-side default). Gob omits
 	// zero fields, so pre-drain peers interoperate unchanged.
 	RetryAfterMs int
+	// Cohort lists the round's sampled client ids; only sent on KindGlobal,
+	// and only when the defense is cohort-aware (secure aggregation needs
+	// each client to know its round's mask peers — see fl.CohortAware). Gob
+	// omits empty slices, so cohort-free deployments interoperate
+	// unchanged.
+	Cohort []int
 }
 
 // maxFrameBytes bounds a frame to protect against corrupt length prefixes
@@ -146,13 +152,28 @@ func WriteMessage(w io.Writer, msg *Message) error {
 // pooled; gob decoding copies all data out of it, so the returned Message
 // never aliases pool memory.
 func ReadMessage(r io.Reader) (*Message, error) {
+	var msg Message
+	if err := ReadMessageInto(r, &msg); err != nil {
+		return nil, err
+	}
+	return &msg, nil
+}
+
+// ReadMessageInto decodes one frame into msg, reusing msg's existing State
+// backing array when its capacity suffices (gob decodes a slice into the
+// destination's backing array if it fits, allocating otherwise). Pair it
+// with GetState/PutState so a server folding thousands of updates per round
+// recycles a handful of state buffers instead of allocating one per update.
+// msg is reset first, so leftover fields from a previous frame never leak
+// through.
+func ReadMessageInto(r io.Reader, msg *Message) error {
 	var header [4]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
-		return nil, fmt.Errorf("flnet: read header: %w", err)
+		return fmt.Errorf("flnet: read header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(header[:])
 	if n == 0 || n > maxFrameBytes {
-		return nil, fmt.Errorf("flnet: frame length %d out of range", n)
+		return fmt.Errorf("flnet: frame length %d out of range", n)
 	}
 	bp := readBufPool.Get().(*[]byte)
 	defer readBufPool.Put(bp)
@@ -161,13 +182,39 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	}
 	payload := (*bp)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("flnet: read payload: %w", err)
+		return fmt.Errorf("flnet: read payload: %w", err)
 	}
-	var msg Message
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&msg); err != nil {
-		return nil, fmt.Errorf("flnet: decode: %w", err)
+	state := msg.State
+	*msg = Message{State: state[:0]}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(msg); err != nil {
+		return fmt.Errorf("flnet: decode: %w", err)
 	}
 	telRxFrames.Inc()
 	telRxBytes.Add(int64(n) + 4)
-	return &msg, nil
+	return nil
+}
+
+// statePool recycles state-vector buffers between rounds. Updates released
+// after aggregation return here; the next round's reads decode into them.
+var statePool = sync.Pool{New: func() any { return new([]float64) }}
+
+// GetState returns a pooled state buffer (length 0, whatever capacity it
+// retired with).
+func GetState() []float64 {
+	sp := statePool.Get().(*[]float64)
+	s := *sp
+	*sp = nil
+	statePool.Put(sp)
+	return s[:0]
+}
+
+// PutState returns a state buffer to the pool. Callers must not retain any
+// alias past the call.
+func PutState(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	sp := statePool.Get().(*[]float64)
+	*sp = s
+	statePool.Put(sp)
 }

@@ -6,11 +6,19 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/chaos"
 )
+
+// testClient disables keep-alives so idle-connection goroutines don't
+// linger past a.Close() and trip the leak guard.
+var testClient = &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
 
 // TestServeAdmin spins up an admin server on an ephemeral port and checks
 // all three endpoint families.
 func TestServeAdmin(t *testing.T) {
+	chaos.GuardTest(t, 5*time.Second)
 	reg := NewRegistry()
 	c := reg.NewCounter("admin_test_total", "t")
 	c.Add(5)
@@ -25,7 +33,7 @@ func TestServeAdmin(t *testing.T) {
 
 	get := func(path string) (int, string, string) {
 		t.Helper()
-		resp, err := http.Get(base + path)
+		resp, err := testClient.Get(base + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
 		}
@@ -74,12 +82,13 @@ func TestServeAdmin(t *testing.T) {
 // TestServeAdminNilDefaults: nil health and registry fall back to a zero
 // snapshot and the Default registry instead of crashing.
 func TestServeAdminNilDefaults(t *testing.T) {
+	chaos.GuardTest(t, 5*time.Second)
 	a, err := ServeAdmin("127.0.0.1:0", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", a.Addr()))
+	resp, err := testClient.Get(fmt.Sprintf("http://%s/healthz", a.Addr()))
 	if err != nil {
 		t.Fatal(err)
 	}

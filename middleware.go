@@ -49,6 +49,23 @@ type ServerOptions struct {
 	// QuarantineRounds overrides how many rounds a poisoning client stays
 	// excluded after rejection (0 = default 3, negative disables).
 	QuarantineRounds int
+	// SampleSize, when positive, samples that many of the registered
+	// clients into each round's cohort (deterministic given the seed;
+	// quarantined clients are never drawn; failed cohort members are
+	// replaced from the same draw). 0 means every client, every round.
+	SampleSize int
+	// SampleSeed seeds the cohort draw; 0 adopts the checkpoint's
+	// recorded seed when resuming, else Config.Seed.
+	SampleSeed int64
+	// AsyncStaleness, when positive, buffers stragglers' updates across
+	// round boundaries and folds them into a later round weighted down by
+	// age, up to this many rounds; rounds then never block on stragglers.
+	AsyncStaleness int
+	// Streaming folds each arriving update straight into an O(model)
+	// accumulator instead of materializing the cohort (requires a
+	// streaming-capable aggregation rule; otherwise the server logs a
+	// warning and materializes).
+	Streaming bool
 	// Logf receives fault-tolerance progress lines (optional).
 	Logf func(format string, args ...any)
 	// AdminAddr, if non-empty, starts an HTTP observability listener
@@ -92,16 +109,23 @@ func NewMiddlewareServer(opts ServerOptions) (*MiddlewareServer, error) {
 		return nil, err
 	}
 	srv, err := flnet.NewServer(flnet.ServerConfig{
-		Addr:           opts.Addr,
-		NumClients:     cfg.Clients,
-		MinClients:     opts.MinClients,
-		Rounds:         cfg.Rounds,
-		RoundDeadline:  opts.RoundDeadline,
-		Defense:        def,
-		InitialState:   m.StateVector(),
-		CheckpointPath: opts.CheckpointPath,
-		Dataset:        cfg.Dataset,
-		NoScreen:       opts.NoScreen,
+		Addr:          opts.Addr,
+		NumClients:    cfg.Clients,
+		MinClients:    opts.MinClients,
+		Rounds:        cfg.Rounds,
+		RoundDeadline: opts.RoundDeadline,
+		SampleSize:    opts.SampleSize,
+		// Passed through verbatim: 0 must reach flnet so a resumed
+		// federation adopts the checkpoint's recorded draw seed.
+		SampleSeed:        opts.SampleSeed,
+		SampleSeedDefault: cfg.Seed,
+		AsyncStaleness:    opts.AsyncStaleness,
+		Streaming:         opts.Streaming,
+		Defense:           def,
+		InitialState:      m.StateVector(),
+		CheckpointPath:    opts.CheckpointPath,
+		Dataset:           cfg.Dataset,
+		NoScreen:          opts.NoScreen,
 		Screen: fl.ScreenConfig{
 			ClipNorms:        opts.ClipNorms,
 			QuarantineRounds: opts.QuarantineRounds,
