@@ -24,10 +24,14 @@
 #                     partitioned-memory / async scale soaks, and the
 #                     sampling crash-resume + quarantine property tests
 #                     (make chaos runs the same soaks at full 10k scale)
+#   make wirebench  - wire-protocol benchmarks (binary frame encode/decode
+#                     throughput, bytes per federation round with the full
+#                     codec stack), merged into BENCH_hotpath.json
 #   make check      - everything above
-#   make fuzz       - short fuzz pass over the wire-protocol decoder, the
-#                     update screen, the /healthz JSON round trip, and the
-#                     checkpoint envelope (CRC + corruption invariants)
+#   make fuzz       - short fuzz pass over the wire-protocol decoders (gob
+#                     and binary frames), the update screen, the /healthz
+#                     JSON round trip, and the checkpoint envelope (CRC +
+#                     corruption invariants)
 #   make bench      - kernel + per-layer hot-path microbenchmarks
 #   make bench-json - rerun the tracked hot-path suite, updating
 #                     BENCH_hotpath.json (baseline section is preserved)
@@ -37,7 +41,7 @@
 
 GO ?= go
 
-.PHONY: verify vet race adversary alloc parallel telemetry chaos soak check fuzz bench bench-json bench-scaling
+.PHONY: verify vet race adversary alloc parallel telemetry chaos soak wirebench check fuzz bench bench-json bench-scaling
 
 verify:
 	$(GO) build ./...
@@ -75,7 +79,10 @@ soak:
 	$(GO) test -race ./internal/fleetsim/
 	$(GO) test -race -short ./internal/chaos/ -run 'TestScaleSoak|TestSampledCohortResumeIdentity|TestQuarantinedClientNeverResampled'
 
-check: verify vet race adversary alloc parallel telemetry chaos soak
+wirebench:
+	$(GO) run ./cmd/dinar-bench -only wire_encode,wire_decode,bytes_per_round -json BENCH_hotpath.json
+
+check: verify vet race adversary alloc parallel telemetry chaos soak wirebench
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/tensor/ ./internal/nn/
@@ -88,6 +95,7 @@ bench-scaling:
 
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadMessage -fuzztime=30s ./internal/flnet/
+	$(GO) test -run=NONE -fuzz=FuzzFrame -fuzztime=30s ./internal/flnet/
 	$(GO) test -run=NONE -fuzz=FuzzScreen -fuzztime=30s ./internal/fl/
 	$(GO) test -run=NONE -fuzz=FuzzHealthJSON -fuzztime=30s ./internal/telemetry/
 	$(GO) test -run=NONE -fuzz=FuzzEnvelope$$ -fuzztime=30s ./internal/checkpoint/

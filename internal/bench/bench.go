@@ -40,6 +40,9 @@ type Result struct {
 	Iterations  int   `json:"iterations"`
 	// GOMAXPROCS is the CPU count the measurement ran at (schema v2).
 	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// Extra carries custom metrics published via b.ReportMetric (e.g. the
+	// wire bench's "bytes/round"). Omitted for benchmarks without any.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Snapshot is one full run of the hot-path suite.
@@ -235,6 +238,9 @@ var suite = []suiteEntry{
 		}
 	}},
 	{"round_throughput", benchRoundThroughput},
+	{"wire_encode", benchWireEncode},
+	{"wire_decode", benchWireDecode},
+	{"bytes_per_round", benchBytesPerRound},
 	{"fig4_per_layer_protection", func(b *testing.B) {
 		o := experiment.QuickOptions()
 		o.UseShadowAttack = false
@@ -295,6 +301,12 @@ func RunOnly(only []string, logf func(format string, args ...any)) (Snapshot, er
 			AllocsPerOp: r.AllocsPerOp(),
 			Iterations:  r.N,
 			GOMAXPROCS:  procs,
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Extra[k] = v
+			}
 		}
 		results[e.name] = res
 		if logf != nil {

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/defense"
+	"repro/internal/fl"
+	"repro/internal/fleetsim"
+	"repro/internal/flnet"
+)
+
+// wireDim is the state-vector length the wire benches measure at, matching
+// round_throughput's default model.
+const wireDim = 4096
+
+// wireGlobal builds a deterministic dim-sized Global message.
+func wireGlobal(dim int) *flnet.Message {
+	state := fleetsim.SynthState(17, 1, 1, dim, nil)
+	return &flnet.Message{Kind: flnet.KindGlobal, Round: 3, State: state}
+}
+
+// benchWireEncode times the zero-reflection binary frame encoder on a full
+// Global broadcast (the per-frame hot path every exchange pays twice).
+func benchWireEncode(b *testing.B) {
+	codec := flnet.NewCodec(flnet.CapBinary, 0, 0, nil)
+	msg := wireGlobal(wireDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := flnet.WriteMessageWith(io.Discard, msg, codec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(8 * wireDim))
+}
+
+// benchWireDecode times the matching decoder, reusing one state buffer the
+// way the server's exchange path does.
+func benchWireDecode(b *testing.B) {
+	codec := flnet.NewCodec(flnet.CapBinary, 0, 0, nil)
+	var frame bytes.Buffer
+	if err := flnet.WriteMessageWith(&frame, wireGlobal(wireDim), codec); err != nil {
+		b.Fatal(err)
+	}
+	raw := frame.Bytes()
+	var msg flnet.Message
+	r := bytes.NewReader(raw)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(raw)
+		if err := flnet.ReadMessageWith(r, &msg, codec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(8 * wireDim))
+}
+
+// benchBytesPerRound measures bytes on the wire per federation round with
+// the full codec stack on (flate + int8 quantized uploads + delta
+// broadcasts): the same sampled streaming federation as round_throughput,
+// with the tx+rx counter movement divided by the round count published as
+// the "bytes/round" extra metric — the number EXPERIMENTS.md tracks
+// against the gob transport.
+func benchBytesPerRound(b *testing.B) {
+	const (
+		numClients = 64
+		sampleSize = 16
+		minClients = 8
+	)
+	def := defense.NewNone()
+	if err := def.Bind(fl.ModelInfo{NumParams: wireDim, NumState: wireDim}); err != nil {
+		b.Fatal(err)
+	}
+	mem := fleetsim.Listen(numClients)
+	srv, err := flnet.NewServer(flnet.ServerConfig{
+		NumClients:   numClients,
+		MinClients:   minClients,
+		SampleSize:   sampleSize,
+		SampleSeed:   11,
+		Streaming:    true,
+		Rounds:       b.N,
+		Defense:      def,
+		InitialState: make([]float64, wireDim),
+		Listener:     mem,
+		IOTimeout:    2 * time.Minute,
+		Wire:         "binary",
+		Compress:     true,
+		Quantize:     "int8",
+		Delta:        true,
+		QuantSeed:    7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	fleet := &fleetsim.Fleet{
+		N: numClients, Dim: wireDim, Seed: 3,
+		Caps: flnet.ClientCaps,
+		Dial: mem.Dial, IOTimeout: 2 * time.Minute,
+	}
+	statsCh := make(chan *fleetsim.Stats, 1)
+	txBefore, _ := flnet.WireBytesTotals()
+	go func() { statsCh <- fleet.Run(ctx) }()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	final, err := srv.Run(ctx)
+	b.StopTimer()
+	stats := <-statsCh
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(final) != wireDim {
+		b.Fatalf("final state has %d values, want %d", len(final), wireDim)
+	}
+	if got := int(stats.Updates.Load()); got < b.N*minClients {
+		b.Fatalf("fleet wrote %d updates over %d rounds, want at least %d", got, b.N, b.N*minClients)
+	}
+	// Both ends run in-process, so the tx counter movement alone is the
+	// server's tx+rx: every frame either side writes is counted exactly
+	// once (counting rx too would double every frame).
+	txAfter, _ := flnet.WireBytesTotals()
+	b.ReportMetric(float64(txAfter-txBefore)/float64(b.N), "bytes/round")
+}

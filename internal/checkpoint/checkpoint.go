@@ -75,6 +75,31 @@ type Snapshot struct {
 	// StreamNorms is the streaming norm-bound aggregator's trailing
 	// accepted-norm window (nil unless that aggregator is active).
 	StreamNorms []float64
+	// Wire records the server's negotiated-codec configuration and the
+	// last canonical broadcast state, so a resumed server keeps honoring
+	// in-flight codec negotiations: the quantization seed stays stable
+	// (clients reconstruct with it) and the broadcast delta chain resumes
+	// from the exact state still-running clients hold. Nil when the server
+	// runs the plain gob/binary transport (and in older files).
+	Wire *WireState
+}
+
+// WireState is the wire-codec portion of a Snapshot.
+type WireState struct {
+	// Compress, Quantize, TopK, and Delta mirror the ServerConfig codec
+	// offer the checkpoint was written under.
+	Compress bool
+	Quantize string
+	TopK     float64
+	Delta    bool
+	// QuantSeed seeds stochastic quantization; a resumed server adopts it
+	// (and refuses a conflicting configured seed) the way SampleSeed works.
+	QuantSeed int64
+	// BcastRound/Bcast are the round and full state of the last canonical
+	// broadcast — the delta/quantization anchor clients hold — so the
+	// resumed server's broadcast ring can diff against it.
+	BcastRound int
+	Bcast      []float64
 }
 
 // AsyncUpdate is one buffered late update in a Snapshot.

@@ -1,0 +1,296 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quantVec builds a deterministic test vector with a mix of magnitudes.
+func quantVec(seed int64, dim int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(3)-1))
+	}
+	return v
+}
+
+// TestEncodeDeltaDeterministic is the bit-reproducibility property the wire
+// protocol depends on: the same (kind, seed, stream, round, base, state,
+// topK) inputs must produce byte-identical payloads on every call, and any
+// change to seed, stream, or round must move at least one level (the
+// stochastic rounding is a counter-mode hash, not shared RNG state).
+func TestEncodeDeltaDeterministic(t *testing.T) {
+	const dim = 1024
+	base := quantVec(1, dim)
+	state := quantVec(2, dim)
+	for _, kind := range []QuantKind{QuantInt8, QuantInt16} {
+		for _, topK := range []float64{0, 0.1} {
+			a, err := EncodeDelta(kind, 7, 3, 5, 5, base, state, topK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 5; trial++ {
+				b, err := EncodeDelta(kind, 7, 3, 5, 5, base, state, topK)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertPayloadEqual(t, a, b)
+			}
+			variants := []*DeltaPayload{}
+			for _, args := range [][3]int64{{8, 3, 5}, {7, 4, 5}, {7, 3, 6}} {
+				v, err := EncodeDelta(kind, args[0], int(args[1]), int(args[2]), 5, base, state, topK)
+				if err != nil {
+					t.Fatal(err)
+				}
+				variants = append(variants, v)
+			}
+			for vi, v := range variants {
+				if samePayloadLevels(a, v) {
+					t.Errorf("kind=%v topK=%v: variant %d (changed seed/stream/round) produced identical levels", kind, topK, vi)
+				}
+			}
+		}
+	}
+}
+
+func assertPayloadEqual(t *testing.T, a, b *DeltaPayload) {
+	t.Helper()
+	if a.Kind != b.Kind || a.Dim != b.Dim || a.BaseRound != b.BaseRound || a.Lo != b.Lo || a.Hi != b.Hi {
+		t.Fatalf("payload headers differ: %+v vs %+v", a, b)
+	}
+	if len(a.Indices) != len(b.Indices) || len(a.Q) != len(b.Q) {
+		t.Fatalf("payload sizes differ: %d/%d indices, %d/%d levels", len(a.Indices), len(b.Indices), len(a.Q), len(b.Q))
+	}
+	for i := range a.Indices {
+		if a.Indices[i] != b.Indices[i] {
+			t.Fatalf("index %d differs: %d vs %d", i, a.Indices[i], b.Indices[i])
+		}
+	}
+	for i := range a.Q {
+		if a.Q[i] != b.Q[i] {
+			t.Fatalf("level %d differs: %d vs %d", i, a.Q[i], b.Q[i])
+		}
+	}
+}
+
+func samePayloadLevels(a, b *DeltaPayload) bool {
+	if len(a.Q) != len(b.Q) {
+		return false
+	}
+	for i := range a.Q {
+		if a.Q[i] != b.Q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEncodeDeltaAccuracy bounds the reconstruction error by one
+// quantization step per coordinate and verifies untouched coordinates of a
+// sparse payload pass through exactly.
+func TestEncodeDeltaAccuracy(t *testing.T) {
+	const dim = 2048
+	base := quantVec(3, dim)
+	state := quantVec(4, dim)
+	for _, tc := range []struct {
+		kind QuantKind
+		topK float64
+	}{
+		{QuantInt8, 0}, {QuantInt16, 0}, {QuantInt8, 0.25}, {QuantInt16, 0.05},
+	} {
+		p, err := EncodeDelta(tc.kind, 11, 0, 1, 1, base, state, tc.topK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Apply(base, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step := (p.Hi - p.Lo) / float64(tc.kind.levels())
+		carried := make(map[int]bool, len(p.Indices))
+		if tc.topK > 0 {
+			k := int(math.Ceil(tc.topK * dim))
+			if p.Indices == nil || len(p.Indices) != k {
+				t.Fatalf("kind=%v topK=%v: %d indices, want %d", tc.kind, tc.topK, len(p.Indices), k)
+			}
+			for _, ix := range p.Indices {
+				carried[int(ix)] = true
+			}
+		} else {
+			if p.Indices != nil {
+				t.Fatalf("kind=%v topK=%v: dense encode produced %d indices", tc.kind, tc.topK, len(p.Indices))
+			}
+			for i := 0; i < dim; i++ {
+				carried[i] = true
+			}
+		}
+		for i := range got {
+			if !carried[i] {
+				if got[i] != base[i] {
+					t.Fatalf("kind=%v topK=%v: uncarried coordinate %d changed: %v vs %v", tc.kind, tc.topK, i, got[i], base[i])
+				}
+				continue
+			}
+			if diff := math.Abs(got[i] - state[i]); diff > step+1e-12 {
+				t.Fatalf("kind=%v topK=%v: coordinate %d off by %g, step is %g", tc.kind, tc.topK, i, diff, step)
+			}
+		}
+	}
+}
+
+// TestEncodeDeltaTopKSelection pins the deterministic top-k rule: largest
+// |delta| first, index ties ascending, indices re-sorted ascending in the
+// payload.
+func TestEncodeDeltaTopKSelection(t *testing.T) {
+	base := make([]float64, 8)
+	state := []float64{0.1, -5, 0.2, 5, -0.3, 0.1, 4, -0.1}
+	p, err := EncodeDelta(QuantInt8, 1, 0, 0, 0, base, state, 0.375) // k = 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{1, 3, 6} // |−5|, |5|, |4| re-sorted ascending
+	if len(p.Indices) != len(want) {
+		t.Fatalf("indices %v, want %v", p.Indices, want)
+	}
+	for i := range want {
+		if p.Indices[i] != want[i] {
+			t.Fatalf("indices %v, want %v", p.Indices, want)
+		}
+	}
+}
+
+// TestEncodeDeltaRejectsNonFinite ensures NaN/Inf deltas are refused rather
+// than serialized.
+func TestEncodeDeltaRejectsNonFinite(t *testing.T) {
+	base := make([]float64, 4)
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		state := []float64{1, bad, 2, 3}
+		if _, err := EncodeDelta(QuantInt8, 1, 0, 0, 0, base, state, 0); err == nil {
+			t.Fatalf("EncodeDelta accepted a state containing %v", bad)
+		}
+	}
+}
+
+// TestDeltaPayloadValidate drives the structural checks a decoder relies on.
+func TestDeltaPayloadValidate(t *testing.T) {
+	ok := &DeltaPayload{Kind: QuantInt8, Dim: 3, Lo: -1, Hi: 1, Q: []uint16{0, 128, 255}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		p    DeltaPayload
+	}{
+		{"bad kind", DeltaPayload{Kind: QuantNone, Dim: 3, Q: []uint16{0, 0, 0}}},
+		{"zero dim", DeltaPayload{Kind: QuantInt8, Dim: 0}},
+		{"nan range", DeltaPayload{Kind: QuantInt8, Dim: 1, Lo: math.NaN(), Q: []uint16{0}}},
+		{"inverted range", DeltaPayload{Kind: QuantInt8, Dim: 1, Lo: 1, Hi: 0, Q: []uint16{0}}},
+		{"dense size mismatch", DeltaPayload{Kind: QuantInt8, Dim: 3, Q: []uint16{0}}},
+		{"sparse size mismatch", DeltaPayload{Kind: QuantInt8, Dim: 3, Indices: []uint32{0, 1}, Q: []uint16{0}}},
+		{"unsorted indices", DeltaPayload{Kind: QuantInt8, Dim: 3, Indices: []uint32{1, 0}, Q: []uint16{0, 0}}},
+		{"index out of range", DeltaPayload{Kind: QuantInt8, Dim: 3, Indices: []uint32{0, 3}, Q: []uint16{0, 0}}},
+		{"int8 level overflow", DeltaPayload{Kind: QuantInt8, Dim: 1, Hi: 1, Q: []uint16{256}}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.p)
+		}
+	}
+}
+
+// TestQuantizedStreamingFoldOrderInvariance is the determinism acceptance
+// property: quantized uploads, dequantized and folded into the exact
+// fixed-point streaming aggregator, must produce a bit-identical aggregate
+// in every arrival order. Quantization happens per (seed, client, round)
+// with counter-mode hashing, so reordering connections changes nothing.
+func TestQuantizedStreamingFoldOrderInvariance(t *testing.T) {
+	const (
+		numClients = 24
+		dim        = 512
+		round      = 6
+		seed       = 19
+	)
+	broadcast := quantVec(100, dim)
+	reconstructed := make([][]float64, numClients)
+	for id := 0; id < numClients; id++ {
+		state := quantVec(200+int64(id), dim)
+		p, err := EncodeDelta(QuantInt8, seed, id, round, round, broadcast, state, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reconstructed[id], err = p.Apply(broadcast, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fold := func(order []int) []float64 {
+		agg := NewStreamingFedAvg()
+		agg.Begin(round, broadcast)
+		for _, id := range order {
+			err := agg.Fold(&Update{ClientID: id, Round: round, State: reconstructed[id], NumSamples: 1 + id%7})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, err := agg.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	order := make([]int, numClients)
+	for i := range order {
+		order[i] = i
+	}
+	want := fold(order)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		got := fold(order)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: aggregate[%d] = %x, want %x (fold must be order-invariant bit-for-bit)",
+					trial, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+
+	// And the whole pipeline (encode → apply → fold) re-run from scratch
+	// must reproduce the identical aggregate: no hidden state anywhere.
+	again := make([][]float64, numClients)
+	for id := 0; id < numClients; id++ {
+		state := quantVec(200+int64(id), dim)
+		p, err := EncodeDelta(QuantInt8, seed, id, round, round, broadcast, state, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again[id], err = p.Apply(broadcast, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	copy(reconstructed, again)
+	rerun := fold(order)
+	for i := range want {
+		if rerun[i] != want[i] {
+			t.Fatalf("re-run aggregate[%d] differs: %x vs %x", i, math.Float64bits(rerun[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestParseQuantKind covers the flag-value mapping.
+func TestParseQuantKind(t *testing.T) {
+	for s, want := range map[string]QuantKind{"": QuantNone, "none": QuantNone, "int8": QuantInt8, "int16": QuantInt16} {
+		got, err := ParseQuantKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseQuantKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseQuantKind("int32"); err == nil {
+		t.Error("ParseQuantKind accepted int32")
+	}
+}

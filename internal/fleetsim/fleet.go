@@ -97,6 +97,50 @@ type Fleet struct {
 	// MaxRetries bounds consecutive redials that make no progress
 	// (default 8).
 	MaxRetries int
+	// Caps is the wire capability mask each client advertises in its Hello
+	// (e.g. flnet.ClientCaps). 0 means a legacy gob session — the default,
+	// so existing soaks keep measuring the gob transport unchanged.
+	Caps uint32
+	// Version overrides the protocol version sent in Hello frames (0 means
+	// flnet.ProtocolVersion) — negotiation tests use it to present an old
+	// peer to a new server.
+	Version int
+}
+
+// anchors tracks the broadcasts a simulated client holds, mirroring the
+// real client's anchor discipline: pend is the last received broadcast,
+// and the stable anchor only advances once the round's update has been
+// written in full (so Hello's LastRound never promises a state the client
+// might not hold).
+type anchors struct {
+	round     int
+	state     []float64
+	pendRound int
+	pendState []float64
+}
+
+func (a *anchors) base(round int) []float64 {
+	if round == a.pendRound && a.pendState != nil {
+		return a.pendState
+	}
+	if round == a.round && a.state != nil {
+		return a.state
+	}
+	return nil
+}
+
+func (a *anchors) received(round int, state []float64) {
+	a.pendRound = round
+	a.pendState = append(a.pendState[:0], state...)
+}
+
+func (a *anchors) completed(round int) {
+	if a.pendRound != round {
+		return
+	}
+	a.round = round
+	a.state, a.pendState = a.pendState, a.state
+	a.pendRound = -1
 }
 
 // errPartitioned marks a deliberate partition-induced disconnect; it does
@@ -169,6 +213,7 @@ func (f *Fleet) runClient(ctx context.Context, id int, stats *Stats, track func(
 	retries := 0
 	sessions := 0
 	buf := make([]float64, 0, f.Dim)
+	anch := &anchors{round: -1, pendRound: -1}
 	for ctx.Err() == nil {
 		conn, err := f.Dial()
 		if err != nil {
@@ -182,7 +227,7 @@ func (f *Fleet) runClient(ctx context.Context, id int, stats *Stats, track func(
 		if sessions > 1 {
 			stats.Rejoins.Add(1)
 		}
-		err = f.session(ctx, id, conn, &lastRound, &buf, stats)
+		err = f.session(ctx, id, conn, &lastRound, &buf, anch, stats)
 		conn.Close()
 		track(nil)
 		switch {
@@ -221,28 +266,42 @@ func (f *Fleet) runClient(ctx context.Context, id int, stats *Stats, track func(
 
 // session runs one connection's worth of protocol: hello, then globals
 // until Done. A nil return means the final model arrived.
-func (f *Fleet) session(ctx context.Context, id int, conn net.Conn, lastRound *int, buf *[]float64, stats *Stats) error {
+func (f *Fleet) session(ctx context.Context, id int, conn net.Conn, lastRound *int, buf *[]float64, anch *anchors, stats *Stats) error {
+	version := f.Version
+	if version == 0 {
+		version = flnet.ProtocolVersion
+	}
 	conn.SetWriteDeadline(time.Now().Add(f.IOTimeout))
 	err := flnet.WriteMessage(conn, &flnet.Message{
 		Kind:      flnet.KindHello,
 		ClientID:  id,
-		Version:   flnet.ProtocolVersion,
+		Version:   version,
 		LastRound: *lastRound,
+		WireCaps:  f.Caps,
 	})
 	if err != nil {
 		return err
 	}
+	var codec *flnet.Codec
 	var msg flnet.Message
 	for {
 		conn.SetReadDeadline(time.Now().Add(f.IOTimeout))
-		if err := flnet.ReadMessageInto(conn, &msg); err != nil {
+		if err := flnet.ReadMessageWith(conn, &msg, codec); err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
 			return err
 		}
 		switch msg.Kind {
+		case flnet.KindWire:
+			if msg.WireCaps&^f.Caps != 0 {
+				return fmt.Errorf("fleetsim: client %d: server negotiated unadvertised capabilities %#x", id, msg.WireCaps)
+			}
+			codec = flnet.NewCodec(msg.WireCaps, msg.QuantSeed, msg.TopK, anch.base)
 		case flnet.KindGlobal:
+			if codec.Binary() {
+				anch.received(msg.Round, msg.State)
+			}
 			if f.Partition != nil && f.Partition(id, msg.Round) {
 				stats.Partitions.Add(1)
 				return errPartitioned
@@ -260,18 +319,19 @@ func (f *Fleet) session(ctx context.Context, id int, conn net.Conn, lastRound *i
 				f.Mutate(id, msg.Round, *buf)
 			}
 			conn.SetWriteDeadline(time.Now().Add(f.IOTimeout))
-			err := flnet.WriteMessage(conn, &flnet.Message{
+			err := flnet.WriteMessageWith(conn, &flnet.Message{
 				Kind:       flnet.KindUpdate,
 				ClientID:   id,
 				Round:      msg.Round,
 				State:      *buf,
 				NumSamples: weight,
-			})
+			}, codec)
 			if err != nil {
 				return err
 			}
 			stats.Updates.Add(1)
 			*lastRound = msg.Round
+			anch.completed(msg.Round)
 		case flnet.KindDone:
 			return nil
 		case flnet.KindDrain:

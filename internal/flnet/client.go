@@ -41,6 +41,11 @@ type ClientConfig struct {
 	// client restart. It runs on the session goroutine; a slow hook delays
 	// the next round's read.
 	AfterRound func(round int)
+	// Wire selects the transport framing: "binary" (the default, ""
+	// means binary) advertises the full v3 capability set at Hello and
+	// speaks whatever the server negotiates; "gob" advertises nothing and
+	// pins the legacy gob framing.
+	Wire string
 }
 
 // defaultMaxBackoff caps the exponential backoff between reconnects.
@@ -85,6 +90,9 @@ func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
 	if cfg.Trainer == nil || cfg.Defense == nil {
 		return nil, fmt.Errorf("flnet: client needs Trainer and Defense")
 	}
+	if cfg.Wire != "" && cfg.Wire != "binary" && cfg.Wire != "gob" {
+		return nil, fmt.Errorf("flnet: unknown wire format %q (want binary or gob)", cfg.Wire)
+	}
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 30 * time.Second
 	}
@@ -113,6 +121,10 @@ func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
 	rng := rand.New(rand.NewSource(int64(cfg.Trainer.ID)*2654435761 + 1))
 
 	lastCompleted := -1
+	// Broadcast anchors survive reconnects: a redialing client still holds
+	// the broadcast of its last completed round, so a v3 server whose ring
+	// still covers it can resume delta encoding immediately.
+	anchors := &wireAnchors{round: -1, pendRound: -1}
 	failures := 0
 	drainWaits := 0
 	// A drain notice is an orderly "come back later", not a fault: it does
@@ -121,7 +133,7 @@ func RunClient(ctx context.Context, cfg ClientConfig) ([]float64, error) {
 	maxDrainWaits := 4*cfg.MaxRetries + 8
 	for {
 		before := lastCompleted
-		final, err := runSession(ctx, cfg, &lastCompleted)
+		final, err := runSession(ctx, cfg, &lastCompleted, anchors)
 		if err == nil {
 			return final, nil
 		}
@@ -188,11 +200,53 @@ func drainErr(err error, retryAfter time.Duration) *sessionError {
 	return &sessionError{err: err, retryable: true, drain: true, retryAfter: retryAfter}
 }
 
+// wireAnchors is the client's side of the delta/quantization anchor
+// protocol: state is the broadcast of the last *completed* round (what
+// Hello's LastRound promises the server the client holds), and pendState
+// the broadcast most recently received but not yet answered. The anchor
+// only advances when an upload has been written in full — a crash mid-round
+// can therefore never desync the client from what its next Hello claims.
+type wireAnchors struct {
+	round     int
+	state     []float64
+	pendRound int
+	pendState []float64
+}
+
+// base resolves an anchor round for the session codec.
+func (a *wireAnchors) base(round int) []float64 {
+	if round == a.pendRound && a.pendState != nil {
+		return a.pendState
+	}
+	if round == a.round && a.state != nil {
+		return a.state
+	}
+	return nil
+}
+
+// received records a freshly decoded broadcast as the pending anchor.
+func (a *wireAnchors) received(round int, state []float64) {
+	a.pendRound = round
+	a.pendState = append(a.pendState[:0], state...)
+}
+
+// completed promotes the pending anchor after the round's upload was
+// written in full (buffer swap: the old anchor's backing array becomes the
+// next pend buffer).
+func (a *wireAnchors) completed(round int) {
+	if a.pendRound != round {
+		return
+	}
+	a.round = round
+	a.state, a.pendState = a.pendState, a.state
+	a.pendRound = -1
+}
+
 // runSession runs one connection's worth of the protocol: dial, hello,
 // rounds, done. lastCompleted is advanced after every update the server
 // received in full, so a later session's Hello tells the server where
 // this client left off.
-func runSession(ctx context.Context, cfg ClientConfig, lastCompleted *int) ([]float64, *sessionError) {
+func runSession(ctx context.Context, cfg ClientConfig, lastCompleted *int, anchors *wireAnchors) ([]float64, *sessionError) {
 	dialer := net.Dialer{Timeout: cfg.DialTimeout}
 	conn, err := dialer.DialContext(ctx, "tcp", cfg.Addr)
 	if err != nil {
@@ -218,21 +272,38 @@ func runSession(ctx context.Context, cfg ClientConfig, lastCompleted *int) ([]fl
 		Version:   ProtocolVersion,
 		LastRound: *lastCompleted,
 	}
+	if cfg.Wire != "gob" {
+		hello.WireCaps = ClientCaps
+	}
 	if err := WriteMessage(conn, hello); err != nil {
 		return nil, retryableErr(err)
 	}
 
+	// codec stays nil (gob) until the server's KindWire ack negotiates the
+	// binary session; the ack itself is the session's last gob frame.
+	var codec *Codec
+	msg := &Message{}
 	for {
 		conn.SetReadDeadline(time.Now().Add(cfg.IOTimeout))
-		msg, err := ReadMessage(conn)
-		if err != nil {
+		if err := ReadMessageWith(conn, msg, codec); err != nil {
 			if ctx.Err() != nil {
 				return nil, permanentErr(ctx.Err())
 			}
 			return nil, retryableErr(err)
 		}
 		switch msg.Kind {
+		case KindWire:
+			caps := negotiateCaps(hello.WireCaps, msg.WireCaps)
+			if caps == 0 {
+				return nil, permanentErr(fmt.Errorf("flnet: server negotiated unsupported wire capabilities %#x", msg.WireCaps))
+			}
+			codec = NewCodec(caps, msg.QuantSeed, msg.TopK, anchors.base)
 		case KindGlobal:
+			if codec.Binary() {
+				// Remember the broadcast just decoded: the upload diffs
+				// against it, and the next delta broadcast may anchor on it.
+				anchors.received(msg.Round, msg.State)
+			}
 			// A cohort-aware defense (secure aggregation) masks against the
 			// round's sampled cohort, which the server attaches to the
 			// broadcast; without the announcement the mask graph defaults to
@@ -243,21 +314,22 @@ func runSession(ctx context.Context, cfg ClientConfig, lastCompleted *int) ([]fl
 			u, err := cfg.Trainer.RunRound(msg.Round, msg.State, cfg.Defense, nil)
 			if err != nil {
 				conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
-				_ = WriteMessage(conn, &Message{Kind: KindError, Err: err.Error()})
+				_ = WriteMessageWith(conn, &Message{Kind: KindError, Err: err.Error()}, codec)
 				return nil, permanentErr(err)
 			}
 			conn.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
-			err = WriteMessage(conn, &Message{
+			err = WriteMessageWith(conn, &Message{
 				Kind:       KindUpdate,
 				ClientID:   u.ClientID,
 				Round:      u.Round,
 				State:      u.State,
 				NumSamples: u.NumSamples,
-			})
+			}, codec)
 			if err != nil {
 				return nil, retryableErr(err)
 			}
 			*lastCompleted = msg.Round
+			anchors.completed(msg.Round)
 			if cfg.AfterRound != nil {
 				cfg.AfterRound(msg.Round)
 			}

@@ -297,6 +297,23 @@ func TestRoundDeadlineEvictsStraggler(t *testing.T) {
 
 // TestDroppedClientRejoinsMidRound proves reconnect-and-resync: client 1's
 // first connection dies right after registration, the round blocks below
+// v3HandshakeLen returns the exact byte count a default RunClient
+// registration crosses on the wire — the capability-advertising hello plus
+// the server's KindWire ack (a default server offers CapBinary alone) — so
+// DropAfter plans can kill a connection on the first post-registration
+// byte.
+func v3HandshakeLen(t *testing.T, clientID int) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Kind: KindHello, ClientID: clientID, Version: ProtocolVersion, LastRound: -1, WireCaps: ClientCaps}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMessage(&buf, &Message{Kind: KindWire, Version: ProtocolVersion, WireCaps: CapBinary}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Len()
+}
+
 // quorum, and the client's reconnection (with backoff) is resynced into
 // the *current* round, which then completes with the full cohort.
 func TestDroppedClientRejoinsMidRound(t *testing.T) {
@@ -308,15 +325,12 @@ func TestDroppedClientRejoinsMidRound(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 
-	// Compute the exact wire size of client 1's hello so its first
-	// connection dies on the very next byte after registration.
-	var hello bytes.Buffer
-	if err := WriteMessage(&hello, &Message{Kind: KindHello, ClientID: rejoinID, Version: ProtocolVersion, LastRound: -1}); err != nil {
-		t.Fatal(err)
-	}
+	// Compute the exact wire size of client 1's registration handshake so
+	// its first connection dies on the very next byte after it.
+	handshake := v3HandshakeLen(t, rejoinID)
 	schedule := func(i int) faultnet.Plan {
 		if i == 0 {
-			return faultnet.Plan{Kind: faultnet.DropAfter, Bytes: hello.Len()}
+			return faultnet.Plan{Kind: faultnet.DropAfter, Bytes: handshake}
 		}
 		return faultnet.Plan{}
 	}

@@ -1,0 +1,141 @@
+package flnet
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runFedWithWire runs one complete federation on the shared fedBed fixtures
+// with the given server codec config and per-client wire pins, returning
+// the final global state.
+func runFedWithWire(t *testing.T, bed *fedBed, rounds int, mutate func(*ServerConfig), clientWire []string) []float64 {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cfg := ServerConfig{
+		NumClients:   bed.numClients,
+		Rounds:       rounds,
+		Defense:      bed.defense("none"),
+		InitialState: bed.initialState(),
+		IOTimeout:    30 * time.Second,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, _, srvOut := startServer(t, ctx, cfg, nil)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, bed.numClients)
+	for id := 0; id < bed.numClients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			_, err := RunClient(ctx, ClientConfig{
+				Addr:    srv.Addr().String(),
+				Trainer: bed.trainer(id),
+				Defense: bed.defense("none"),
+				Wire:    clientWire[id],
+			})
+			if err != nil {
+				errCh <- err
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	out := <-srvOut
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	return out.state
+}
+
+// relL2 is ‖a−b‖ / ‖b‖.
+func relL2(a, b []float64) float64 {
+	var diff, norm float64
+	for i := range a {
+		d := a[i] - b[i]
+		diff += d * d
+		norm += b[i] * b[i]
+	}
+	return math.Sqrt(diff) / math.Sqrt(norm)
+}
+
+// TestQuantizedFederationConverges is the lossy-codec tolerance acceptance:
+// the same seeded federation run over int8-quantized, delta-encoded,
+// compressed frames must land within a small relative distance of the
+// lossless run's final global model — quantization noise perturbs, it must
+// not derail.
+func TestQuantizedFederationConverges(t *testing.T) {
+	const rounds = 3
+	bed := newFedBed(t, 2)
+	gobWire := []string{"gob", "gob"}
+	baseline := runFedWithWire(t, bed, rounds, func(cfg *ServerConfig) { cfg.Wire = "gob" }, gobWire)
+	if len(baseline) == 0 {
+		t.Fatal("baseline federation produced no state")
+	}
+
+	binWire := []string{"binary", "binary"}
+	quantized := runFedWithWire(t, bed, rounds, func(cfg *ServerConfig) {
+		cfg.Wire = "binary"
+		cfg.Compress = true
+		cfg.Quantize = "int8"
+		cfg.Delta = true
+		cfg.QuantSeed = 5
+	}, binWire)
+	if len(quantized) != len(baseline) {
+		t.Fatalf("quantized run produced %d values, baseline %d", len(quantized), len(baseline))
+	}
+	for i, v := range quantized {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("quantized state[%d] is %v", i, v)
+		}
+	}
+	rel := relL2(quantized, baseline)
+	t.Logf("relative L2 distance to lossless run: %.4f", rel)
+	if rel > 0.05 {
+		t.Fatalf("quantized federation drifted %.4f relative L2 from baseline; tolerance is 0.05", rel)
+	}
+
+	// A lossless binary run (no quantization) must match the gob baseline
+	// exactly: framing alone changes no bits.
+	lossless := runFedWithWire(t, bed, rounds, func(cfg *ServerConfig) {
+		cfg.Wire = "binary"
+		cfg.Compress = true
+		cfg.Delta = true
+	}, binWire)
+	for i := range baseline {
+		if lossless[i] != baseline[i] {
+			t.Fatalf("lossless binary state[%d] = %x, gob baseline %x; framing must be bit-transparent",
+				i, math.Float64bits(lossless[i]), math.Float64bits(baseline[i]))
+		}
+	}
+}
+
+// TestMixedWireFederation pins a heterogeneous cohort: one client pinned to
+// gob and one speaking the full binary stack complete the same quantized
+// federation side by side.
+func TestMixedWireFederation(t *testing.T) {
+	bed := newFedBed(t, 2)
+	state := runFedWithWire(t, bed, 2, func(cfg *ServerConfig) {
+		cfg.Wire = "binary"
+		cfg.Compress = true
+		cfg.Quantize = "int8"
+		cfg.Delta = true
+		cfg.QuantSeed = 7
+	}, []string{"gob", "binary"})
+	if len(state) == 0 {
+		t.Fatal("mixed federation produced no state")
+	}
+	for i, v := range state {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("state[%d] is %v", i, v)
+		}
+	}
+}

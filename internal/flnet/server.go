@@ -135,6 +135,34 @@ type ServerConfig struct {
 	// EventCapacity bounds the in-memory ring of recent structured
 	// events (Events method). 0 means 256.
 	EventCapacity int
+	// Wire selects the transport framing offered to clients: "binary"
+	// (the default, "" means binary) negotiates v3 zero-reflection binary
+	// frames with capable peers and falls back to gob for v2 peers or
+	// clients that decline; "gob" pins the legacy gob framing for every
+	// session.
+	Wire string
+	// Compress offers flate compression of binary frame payloads; each
+	// frame stores whichever encoding is smaller.
+	Compress bool
+	// Quantize ("", "none", "int8", "int16") offers seeded stochastic
+	// quantization of client uploads (and, with Delta, of the broadcast
+	// itself). Dequantization is a pure function of the payload bytes, so
+	// the exact streaming fold stays bit-deterministic for a fixed
+	// QuantSeed. Requires the binary wire format; incompatible with
+	// cohort-aware (secure-aggregation) defenses, whose pairwise masks do
+	// not survive lossy encoding.
+	Quantize string
+	// TopK in (0,1) sparsifies quantized uploads to that fraction of
+	// coordinates (largest |delta| first). 0 means dense uploads.
+	TopK float64
+	// Delta offers delta-encoded global broadcasts against the previous
+	// round's broadcast (full state whenever a session's anchor is stale).
+	Delta bool
+	// QuantSeed seeds stochastic quantization. 0 means "unset": a
+	// checkpoint resume adopts the recorded seed, otherwise
+	// QuantSeedDefault applies (0 means 1), mirroring SampleSeed.
+	QuantSeed        int64
+	QuantSeedDefault int64
 }
 
 // RoundTiming is the per-phase wall-time breakdown of one round.
@@ -250,6 +278,16 @@ type Server struct {
 	asyncCh  chan result
 	busy     map[int]*session
 	asyncBuf []*fl.Update
+
+	// Wire-codec state: offerCaps is the capability mask offered at
+	// negotiation (0 = gob only), quantKind the configured upload
+	// quantization, wireLabel the /healthz codec label, and ring the
+	// recent canonical broadcasts that delta/quantized payloads anchor
+	// against (nil unless quantization or delta broadcasts are offered).
+	offerCaps uint32
+	quantKind fl.QuantKind
+	wireLabel string
+	ring      *bcastRing
 }
 
 // tokenBucket is a minimal mutex-guarded token bucket (stdlib only): allow
@@ -320,6 +358,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("flnet: defense %q is cohort-aware (secure aggregation): staleness-buffered updates would carry pairwise masks from an older cohort that cannot cancel; run it synchronously",
 			cfg.Defense.Name())
 	}
+	offerCaps, quantKind, err := wireOffer(&cfg, cohortAware)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.IOTimeout == 0 {
 		cfg.IOTimeout = 2 * time.Minute
 	}
@@ -360,6 +402,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	var (
 		resumeAsync []checkpoint.AsyncUpdate
 		streamNorms []float64
+		resumeWire  *checkpoint.WireState
 	)
 	if cfg.CheckpointPath != "" {
 		snap, skipped, err := checkpoint.LoadLatestValid(cfg.CheckpointPath)
@@ -405,6 +448,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			if snap.SampleSize != 0 && cfg.SampleSize != 0 && snap.SampleSize != cfg.SampleSize {
 				return nil, fmt.Errorf("flnet: checkpoint sampled %d clients per round, config says %d", snap.SampleSize, cfg.SampleSize)
 			}
+			// Clients reconstruct quantized payloads with the federation's
+			// quantization seed: adopt the recorded one like SampleSeed, and
+			// refuse a conflicting configuration — reconstructions would
+			// silently diverge from the recorded broadcast chain.
+			if snap.Wire != nil {
+				if snap.Wire.QuantSeed != 0 {
+					switch {
+					case cfg.QuantSeed == 0:
+						cfg.QuantSeed = snap.Wire.QuantSeed
+					case cfg.QuantSeed != snap.Wire.QuantSeed:
+						return nil, fmt.Errorf("flnet: checkpoint quantized with seed %d, config says %d", snap.Wire.QuantSeed, cfg.QuantSeed)
+					}
+				}
+				resumeWire = snap.Wire
+			}
 			resumeAsync = snap.Async
 			streamNorms = snap.StreamNorms
 			events.Eventf(startRound, -1, "flnet: resuming from checkpoint %s at round %d (generation %d)",
@@ -416,6 +474,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.SampleSize > 0 && cfg.SampleSeed == 0 {
 		if cfg.SampleSeed = cfg.SampleSeedDefault; cfg.SampleSeed == 0 {
 			cfg.SampleSeed = 1
+		}
+	}
+	if quantKind != fl.QuantNone && cfg.QuantSeed == 0 {
+		if cfg.QuantSeed = cfg.QuantSeedDefault; cfg.QuantSeed == 0 {
+			cfg.QuantSeed = 1
 		}
 	}
 
@@ -469,6 +532,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		regSem:      make(chan struct{}, cfg.MaxInflightRegistrations),
 		streamAgg:   streamAgg,
 		cohortAware: cohortAware,
+		offerCaps:   offerCaps,
+		quantKind:   quantKind,
+		wireLabel:   CapsLabel(offerCaps),
+	}
+	if offerCaps&(CapQuantInt8|CapQuantInt16|CapDelta) != 0 {
+		// The ring must cover every round a live anchor can lag behind:
+		// synchronous sessions lag at most a round or two, async exchanges
+		// up to AsyncStaleness rounds.
+		srv.ring = newBcastRing(max(8, cfg.AsyncStaleness+2))
+		if resumeWire != nil && len(resumeWire.Bcast) == len(state) && resumeWire.BcastRound >= 0 {
+			// Resume the canonical broadcast chain from the recorded anchor:
+			// reconnecting clients whose LastRound matches get deltas against
+			// the exact state they hold.
+			srv.ring.put(resumeWire.BcastRound, resumeWire.Bcast)
+		}
 	}
 	if cfg.AsyncStaleness > 0 {
 		srv.asyncCh = make(chan result, cfg.NumClients)
@@ -562,6 +640,7 @@ func (s *Server) Health() telemetry.Health {
 		MinClients:        s.cfg.MinClients,
 		StartRound:        s.startRound,
 		CheckpointRound:   s.ckptRound,
+		Wire:              s.wireLabel,
 	}
 }
 
@@ -589,6 +668,13 @@ type session struct {
 	// lastRound is the last round the client reported completing in its
 	// Hello (-1 for a fresh client).
 	lastRound int
+	// codec is the session's negotiated wire codec (nil for gob peers).
+	codec *Codec
+	// anchor is the round whose canonical broadcast the peer is known to
+	// hold — its Hello LastRound until the first Global goes out, then the
+	// round of the last successfully sent Global. Only the session's
+	// single in-flight exchange (serialized by the round loop) touches it.
+	anchor int
 }
 
 // Run accepts registrations, orchestrates all rounds (tolerating client
@@ -795,6 +881,25 @@ func (s *Server) saveCheckpoint() error {
 	if nc, ok := s.streamAgg.(fl.NormCarrier); ok {
 		snap.StreamNorms = nc.ExportNorms()
 	}
+	// The codec configuration (and the broadcast-chain anchor, when deltas
+	// or quantization are live) rides along so a resumed server honors
+	// in-flight negotiations — see checkpoint.WireState.
+	if s.offerCaps != 0 {
+		ws := &checkpoint.WireState{
+			Compress:  s.cfg.Compress,
+			Quantize:  s.quantKind.String(),
+			TopK:      s.cfg.TopK,
+			Delta:     s.cfg.Delta,
+			QuantSeed: s.cfg.QuantSeed,
+		}
+		if s.ring != nil {
+			if round, bcast := s.ring.latest(); bcast != nil {
+				ws.BcastRound = round
+				ws.Bcast = append([]float64(nil), bcast...)
+			}
+		}
+		snap.Wire = ws
+	}
 	if err := checkpoint.SaveFile(s.cfg.CheckpointPath, snap); err != nil {
 		return err
 	}
@@ -936,18 +1041,56 @@ func (s *Server) register(conn net.Conn) (*session, error) {
 	if err != nil || msg.Kind != KindHello {
 		return nil, reject("malformed registration: want a hello frame")
 	}
-	if msg.Version != ProtocolVersion {
-		return nil, reject(fmt.Sprintf("protocol version %d not supported, server speaks %d", msg.Version, ProtocolVersion))
+	if msg.Version < MinProtocolVersion || msg.Version > ProtocolVersion {
+		return nil, reject(fmt.Sprintf("protocol version %d not supported, server speaks %d (minimum %d)",
+			msg.Version, ProtocolVersion, MinProtocolVersion))
 	}
 	if msg.ClientID < 0 || msg.ClientID >= s.cfg.NumClients {
 		return nil, reject(fmt.Sprintf("client id %d outside [0,%d)", msg.ClientID, s.cfg.NumClients))
 	}
 	s.mu.Lock()
-	if _, dup := s.live[msg.ClientID]; dup {
-		s.mu.Unlock()
+	_, dup := s.live[msg.ClientID]
+	s.mu.Unlock()
+	if dup {
 		return nil, reject(fmt.Sprintf("client id %d already registered", msg.ClientID))
 	}
-	sess := &session{conn: conn, clientID: msg.ClientID, lastRound: msg.LastRound}
+	sess := &session{conn: conn, clientID: msg.ClientID, lastRound: msg.LastRound, anchor: msg.LastRound}
+	// Codec negotiation: the intersection of the server's offer and the
+	// client's advertised capabilities. A v2 peer (or a v3 peer pinned to
+	// gob) advertises nothing and the session simply stays gob. The ack is
+	// the session's last gob frame, and it MUST be written before the
+	// session becomes visible to the round loop — a concurrently sampled
+	// cohort could otherwise race a binary Global ahead of the ack.
+	if caps := negotiateCaps(s.offerCaps, msg.WireCaps); caps != 0 {
+		ack := &Message{Kind: KindWire, Version: ProtocolVersion, WireCaps: caps,
+			QuantSeed: s.cfg.QuantSeed, TopK: s.cfg.TopK}
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+		if err := WriteMessage(conn, ack); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("flnet: wire ack to client %d: %w", msg.ClientID, err)
+		}
+		sess.codec = NewCodec(caps, s.cfg.QuantSeed, s.cfg.TopK, s.sessionBase(sess))
+	}
+	s.mu.Lock()
+	if _, dup := s.live[msg.ClientID]; dup {
+		s.mu.Unlock()
+		// Lost the insert race against a concurrent registration for the
+		// same id; the rejection must speak whatever codec was just acked.
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+		_ = WriteMessageWith(conn, &Message{Kind: KindError,
+			Err: fmt.Sprintf("client id %d already registered", msg.ClientID)}, sess.codec)
+		conn.Close()
+		s.mu.Lock()
+		s.rejects++
+		tooMany := s.rejects > s.cfg.MaxRejects
+		s.mu.Unlock()
+		telRegistrationsRejected.Inc()
+		s.logf(-1, msg.ClientID, "flnet: rejected registrant from %v: duplicate client id %d", conn.RemoteAddr(), msg.ClientID)
+		if tooMany {
+			return nil, fmt.Errorf("%w (%d)", errTooManyRejects, s.cfg.MaxRejects)
+		}
+		return nil, fmt.Errorf("flnet: rejected registrant: duplicate client id %d", msg.ClientID)
+	}
 	s.live[msg.ClientID] = sess
 	telLiveClients.Set(int64(len(s.live)))
 	s.mu.Unlock()
@@ -1111,7 +1254,7 @@ func (s *Server) sampleCohort(round int, exclude map[int]bool) (cohort, queue []
 // folded the moment it arrives and its buffer recycled — the returned
 // updates slice stays nil and the caller finalizes via core.FinishRound.
 func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundReport, error) {
-	global := s.core.GlobalState()
+	bc := s.prepareBroadcast(round)
 	report := RoundReport{Round: round}
 	roundStart := time.Now()
 	streaming := s.streamAgg != nil
@@ -1142,7 +1285,7 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 		included[sess] = true
 		pending++
 		go func() {
-			u, sendDur, err := s.exchange(sess, round, global, announce)
+			u, sendDur, err := s.exchange(sess, round, bc, announce)
 			results <- result{sess: sess, u: u, err: err, sendDur: sendDur}
 		}()
 	}
@@ -1350,7 +1493,7 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 // AsyncStaleness rounds and are dropped. The round completes as soon as
 // MinClients updates (buffered or fresh) are accepted.
 func (s *Server) runRoundAsync(ctx context.Context, round int) ([]*fl.Update, RoundReport, error) {
-	global := s.core.GlobalState()
+	bc := s.prepareBroadcast(round)
 	report := RoundReport{Round: round}
 	roundStart := time.Now()
 	streaming := s.streamAgg != nil
@@ -1461,7 +1604,7 @@ sweep:
 	launch := func(sess *session) {
 		s.busy[sess.clientID] = sess
 		go func() {
-			u, sendDur, err := s.exchange(sess, round, global, nil)
+			u, sendDur, err := s.exchange(sess, round, bc, nil)
 			s.asyncCh <- result{sess: sess, u: u, err: err, sendDur: sendDur}
 		}()
 	}
@@ -1618,15 +1761,21 @@ func (s *Server) applyScreenOutcome(round int, report *RoundReport) {
 // back to the pool once the server is done with it. sendDur is how long the
 // send took (valid even on a failed exchange, as long as the send itself
 // completed).
-func (s *Server) exchange(sess *session, round int, global []float64, cohort []int) (u *fl.Update, sendDur time.Duration, err error) {
+func (s *Server) exchange(sess *session, round int, bc broadcast, cohort []int) (u *fl.Update, sendDur time.Duration, err error) {
+	global := bc.state
 	sendStart := time.Now()
-	if err := s.send(sess, &Message{Kind: KindGlobal, Round: round, State: global, Cohort: cohort}); err != nil {
+	if err := s.send(sess, &Message{Kind: KindGlobal, Round: round, State: global, Cohort: cohort, Canon: bc.canon}); err != nil {
 		return nil, 0, err
 	}
+	// The peer now holds (or will decode) round's canonical broadcast:
+	// advance its anchor so its quantized upload resolves this round's base
+	// and the next Global can delta against it. A peer that failed to
+	// process the send errors the read below and is evicted either way.
+	sess.anchor = round
 	sendDur = time.Since(sendStart)
 	sess.conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
 	msg := &Message{State: GetState()}
-	if err := ReadMessageInto(sess.conn, msg); err != nil {
+	if err := ReadMessageWith(sess.conn, msg, sess.codec); err != nil {
 		PutState(msg.State)
 		return nil, sendDur, err
 	}
@@ -1663,7 +1812,7 @@ func (s *Server) exchange(sess *session, round int, global []float64, cohort []i
 
 func (s *Server) send(sess *session, msg *Message) error {
 	sess.conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
-	return WriteMessage(sess.conn, msg)
+	return WriteMessageWith(sess.conn, msg, sess.codec)
 }
 
 func (s *Server) sendError(conn net.Conn, text string) {

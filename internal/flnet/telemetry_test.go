@@ -1,7 +1,6 @@
 package flnet
 
 import (
-	"bytes"
 	"context"
 	"fmt"
 	"strings"
@@ -24,15 +23,13 @@ func TestLogfSerializedUnderRejoinHammer(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 
-	// Drop client 1's first two connections right after registration so
-	// the rejoin acceptor keeps logging while rounds are in flight.
-	var hello bytes.Buffer
-	if err := WriteMessage(&hello, &Message{Kind: KindHello, ClientID: rejoinID, Version: ProtocolVersion, LastRound: -1}); err != nil {
-		t.Fatal(err)
-	}
+	// Drop client 1's first connection right after its registration
+	// handshake so the rejoin acceptor keeps logging while rounds are in
+	// flight.
+	handshake := v3HandshakeLen(t, rejoinID)
 	schedule := func(i int) faultnet.Plan {
 		if i == 0 {
-			return faultnet.Plan{Kind: faultnet.DropAfter, Bytes: hello.Len()}
+			return faultnet.Plan{Kind: faultnet.DropAfter, Bytes: handshake}
 		}
 		return faultnet.Plan{}
 	}

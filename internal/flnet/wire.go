@@ -29,6 +29,7 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/fl"
 	"repro/internal/telemetry"
 )
 
@@ -43,8 +44,41 @@ var (
 
 // ProtocolVersion is the wire protocol version carried in every Hello
 // frame. Version 2 added the Version and LastRound fields (reconnect
-// support); servers reject Hellos from any other version.
-const ProtocolVersion = 2
+// support). Version 3 adds the Hello capability bitmask and the binary
+// frame negotiation (see wirev3.go); servers accept Hellos from
+// [MinProtocolVersion, ProtocolVersion], and a v2 Hello — or a v3 Hello
+// advertising no capabilities — simply gets an unchanged gob session, so
+// old peers interoperate without redeploying.
+const (
+	ProtocolVersion    = 3
+	MinProtocolVersion = 2
+)
+
+// Capability bits a v3 client advertises in Hello.WireCaps and the server
+// answers (intersected with its own configuration) in the KindWire ack.
+// Every codec requires CapBinary; a session without it is pure gob.
+const (
+	// CapBinary switches the session to length-prefixed little-endian
+	// binary frames after the gob Hello/ack handshake.
+	CapBinary uint32 = 1 << iota
+	// CapFlate enables per-frame flate compression of state payloads
+	// (skipped frame-by-frame when it does not shrink the payload).
+	CapFlate
+	// CapQuantInt8 / CapQuantInt16 enable seeded stochastic quantization of
+	// client uploads (the levels' width differs; at most one is negotiated).
+	CapQuantInt8
+	CapQuantInt16
+	// CapTopK additionally sparsifies quantized uploads to the negotiated
+	// top-k fraction of coordinates.
+	CapTopK
+	// CapDelta enables delta-encoded global broadcasts against the
+	// client's last completed round.
+	CapDelta
+)
+
+// ClientCaps is everything a current client can speak; the server's ack
+// narrows it to the deployment's configuration.
+const ClientCaps = CapBinary | CapFlate | CapQuantInt8 | CapQuantInt16 | CapTopK | CapDelta
 
 // Kind discriminates protocol messages.
 type Kind int
@@ -62,6 +96,11 @@ const (
 	// when Shutdown begins, to registrants arriving during a drain, and to
 	// connections shed by accept-path admission control.
 	KindDrain
+	// KindWire is the server's gob-encoded answer to a capability-bearing
+	// Hello: WireCaps carries the negotiated intersection, QuantSeed and
+	// TopK the quantization parameters. It is the last gob frame of a
+	// binary session; both ends switch codecs immediately after it.
+	KindWire
 )
 
 // String implements fmt.Stringer.
@@ -79,6 +118,8 @@ func (k Kind) String() string {
 		return "error"
 	case KindDrain:
 		return "drain"
+	case KindWire:
+		return "wire"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -110,28 +151,126 @@ type Message struct {
 	// omits empty slices, so cohort-free deployments interoperate
 	// unchanged.
 	Cohort []int
+	// WireCaps is the capability bitmask: on Hello the sender's supported
+	// codecs, on KindWire the server's negotiated subset. Gob omits zero
+	// fields, so capability-free peers interoperate unchanged.
+	WireCaps uint32
+	// QuantSeed and TopK ride the KindWire ack: the stochastic-rounding
+	// seed every quantized payload of the session must use, and the top-k
+	// sparsification fraction (0 = dense).
+	QuantSeed int64
+	TopK      float64
+	// Canon, set by the server on KindGlobal sends when quantized delta
+	// broadcasts are configured, is the round's canonical quantized delta
+	// against the previous round's broadcast. A binary codec ships it to
+	// peers anchored at round-1 instead of State; the gob path and full
+	// resends ignore it, and it is never populated on received messages
+	// (ReadMessage reconstructs State instead).
+	Canon *fl.DeltaPayload
 }
 
 // maxFrameBytes bounds a frame to protect against corrupt length prefixes
 // (128 MiB is far above any scaled model's state vector).
 const maxFrameBytes = 128 << 20
 
+// maxPooledBytes caps the capacity a buffer may retire to a pool with: one
+// outlier frame (a giant model, a hostile-but-valid length) must not pin a
+// near-maxFrameBytes backing array in the pool for the process lifetime.
+// Buffers above the cap are dropped and fall back to the allocator.
+const maxPooledBytes = 16 << 20
+
 // Frame buffers are pooled: state vectors make frames multi-megabyte, and
 // without pooling every round re-allocates them on both ends of every
-// connection. Pooled buffers keep their high-water capacity, so steady-state
-// rounds reuse the same backing arrays.
+// connection. Pooled buffers keep their high-water capacity up to
+// maxPooledBytes, so steady-state rounds reuse the same backing arrays.
 var (
 	writeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 	readBufPool  = sync.Pool{New: func() any { return new([]byte) }}
 )
+
+// putWriteBuf recycles a frame-encode buffer, dropping oversized ones.
+func putWriteBuf(buf *bytes.Buffer) {
+	if buf.Cap() > maxPooledBytes {
+		return
+	}
+	writeBufPool.Put(buf)
+}
+
+// putReadBuf recycles a frame-payload buffer, dropping oversized ones.
+func putReadBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBytes {
+		return
+	}
+	readBufPool.Put(bp)
+}
+
+// readPayload reads an n-byte frame payload into a pooled buffer with the
+// checkpoint envelope's incremental-read discipline: capacity grows as
+// bytes actually arrive (doubling from a small start), so a corrupt or
+// hostile length prefix on a short stream costs a short read, not an
+// n-byte allocation. Callers must return the pool handle via putReadBuf.
+func readPayload(r io.Reader, n int) ([]byte, *[]byte, error) {
+	bp := readBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		start := cap(*bp)
+		if start < 64<<10 {
+			start = 64 << 10
+		}
+		if start > n {
+			start = n
+		}
+		buf := (*bp)[:0:cap(*bp)]
+		if cap(buf) < start {
+			buf = make([]byte, 0, start)
+		}
+		for len(buf) < n {
+			chunk := cap(buf) - len(buf)
+			if chunk == 0 {
+				grow := cap(buf) * 2
+				if grow > n {
+					grow = n
+				}
+				next := make([]byte, len(buf), grow)
+				copy(next, buf)
+				buf = next
+				chunk = cap(buf) - len(buf)
+			}
+			if chunk > n-len(buf) {
+				chunk = n - len(buf)
+			}
+			m, err := io.ReadFull(r, buf[len(buf):len(buf)+chunk])
+			buf = buf[:len(buf)+m]
+			if err != nil {
+				*bp = buf
+				putReadBuf(bp)
+				return nil, nil, err
+			}
+		}
+		*bp = buf
+		return buf, bp, nil
+	}
+	payload := (*bp)[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		putReadBuf(bp)
+		return nil, nil, err
+	}
+	return payload, bp, nil
+}
 
 // WriteMessage encodes msg as a length-prefixed gob frame. The header and
 // payload go out in a single Write so a frame is never split across
 // syscalls (and fault injectors that act on whole writes see whole
 // frames).
 func WriteMessage(w io.Writer, msg *Message) error {
+	if msg.Canon != nil {
+		// Canon is a binary-codec send hint, never wire data on a gob
+		// session; strip it so gob peers see byte-identical frames.
+		stripped := *msg
+		stripped.Canon = nil
+		msg = &stripped
+	}
 	buf := writeBufPool.Get().(*bytes.Buffer)
-	defer writeBufPool.Put(buf)
+	defer putWriteBuf(buf)
 	buf.Reset()
 	var header [4]byte
 	buf.Write(header[:]) // placeholder, patched below
@@ -175,15 +314,11 @@ func ReadMessageInto(r io.Reader, msg *Message) error {
 	if n == 0 || n > maxFrameBytes {
 		return fmt.Errorf("flnet: frame length %d out of range", n)
 	}
-	bp := readBufPool.Get().(*[]byte)
-	defer readBufPool.Put(bp)
-	if cap(*bp) < int(n) {
-		*bp = make([]byte, n)
-	}
-	payload := (*bp)[:n]
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, bp, err := readPayload(r, int(n))
+	if err != nil {
 		return fmt.Errorf("flnet: read payload: %w", err)
 	}
+	defer putReadBuf(bp)
 	state := msg.State
 	*msg = Message{State: state[:0]}
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(msg); err != nil {
@@ -209,9 +344,10 @@ func GetState() []float64 {
 }
 
 // PutState returns a state buffer to the pool. Callers must not retain any
-// alias past the call.
+// alias past the call. Oversized buffers (beyond maxPooledBytes) are
+// dropped, mirroring the frame-buffer pools.
 func PutState(s []float64) {
-	if cap(s) == 0 {
+	if cap(s) == 0 || cap(s)*8 > maxPooledBytes {
 		return
 	}
 	sp := statePool.Get().(*[]float64)

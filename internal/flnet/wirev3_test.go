@@ -1,0 +1,430 @@
+package flnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fl"
+)
+
+// testState builds a deterministic dim-length state vector.
+func testState(seed int64, dim int) []float64 {
+	s := make([]float64, dim)
+	for i := range s {
+		z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9
+		z ^= z >> 29
+		s[i] = float64(z%2048)/1024 - 1
+	}
+	return s
+}
+
+// ringBase adapts a round→state map to a codec base function.
+func ringBase(m map[int][]float64) func(int) []float64 {
+	return func(round int) []float64 { return m[round] }
+}
+
+// TestBinaryRoundTrip drives every message kind through every codec
+// configuration the negotiation can produce: plain binary frames, flate
+// compression, raw delta broadcasts, quantized uploads (dense int8, sparse
+// top-k int16), and quantized delta broadcasts with a canonical payload.
+// Lossless paths must round-trip exactly; quantized paths must reconstruct
+// the exact state fl.EncodeDelta+Apply defines (the decoder runs the same
+// deterministic pipeline, so equality is bitwise, not approximate).
+func TestBinaryRoundTrip(t *testing.T) {
+	const dim = 512
+	const seed = 42
+	prev := testState(7, dim)
+	cur := testState(8, dim)
+	bases := map[int][]float64{3: prev, 4: cur}
+
+	lossless := []struct {
+		name string
+		caps uint32
+		msg  Message
+	}{
+		{"global/plain", CapBinary, Message{Kind: KindGlobal, Round: 4, State: testState(9, dim), Cohort: []int{0, 2, 5}}},
+		{"global/flate", CapBinary | CapFlate, Message{Kind: KindGlobal, Round: 4, State: make([]float64, dim)}},
+		{"update/plain", CapBinary, Message{Kind: KindUpdate, ClientID: 3, Round: 4, State: testState(10, dim), NumSamples: 128}},
+		{"done", CapBinary, Message{Kind: KindDone, State: testState(11, 8)}},
+		{"error", CapBinary, Message{Kind: KindError, Err: "flnet: you are quarantined"}},
+		{"drain", CapBinary, Message{Kind: KindDrain, RetryAfterMs: 750}},
+		{"hello", CapBinary, Message{Kind: KindHello, ClientID: 6, Version: ProtocolVersion, LastRound: -1}},
+		{"global/delta-raw", CapBinary | CapDelta, Message{Kind: KindGlobal, Round: 4, State: cur}},
+		{"global/delta-raw-flate", CapBinary | CapDelta | CapFlate, Message{Kind: KindGlobal, Round: 4, State: cur}},
+	}
+	for _, tc := range lossless {
+		t.Run(tc.name, func(t *testing.T) {
+			enc := NewCodec(tc.caps, seed, 0, ringBase(map[int][]float64{3: prev}))
+			dec := NewCodec(tc.caps, seed, 0, ringBase(map[int][]float64{3: prev}))
+			var buf bytes.Buffer
+			if err := WriteMessageWith(&buf, &tc.msg, enc); err != nil {
+				t.Fatal(err)
+			}
+			var got Message
+			if err := ReadMessageWith(&buf, &got, dec); err != nil {
+				t.Fatal(err)
+			}
+			assertMessageEqual(t, &got, &tc.msg)
+			if buf.Len() != 0 {
+				t.Fatalf("decoder left %d bytes on the stream", buf.Len())
+			}
+		})
+	}
+
+	quantCases := []struct {
+		name string
+		caps uint32
+		topK float64
+	}{
+		{"update/int8", CapBinary | CapQuantInt8, 0},
+		{"update/int8-flate", CapBinary | CapQuantInt8 | CapFlate, 0},
+		{"update/int16-topk", CapBinary | CapQuantInt16 | CapTopK, 0.25},
+	}
+	for _, tc := range quantCases {
+		t.Run(tc.name, func(t *testing.T) {
+			enc := NewCodec(tc.caps, seed, tc.topK, ringBase(bases))
+			dec := NewCodec(tc.caps, seed, tc.topK, ringBase(bases))
+			msg := Message{Kind: KindUpdate, ClientID: 5, Round: 4, State: testState(13, dim), NumSamples: 64}
+			var buf bytes.Buffer
+			if err := WriteMessageWith(&buf, &msg, enc); err != nil {
+				t.Fatal(err)
+			}
+			// The decoder must land on exactly what the deterministic
+			// encode+apply pipeline defines, not merely "close".
+			p, err := fl.EncodeDelta(enc.QuantKind(), seed, msg.ClientID, msg.Round, msg.Round, cur, msg.State, enc.topK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := p.Apply(cur, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got Message
+			if err := ReadMessageWith(&buf, &got, dec); err != nil {
+				t.Fatal(err)
+			}
+			if len(got.State) != dim {
+				t.Fatalf("decoded state has %d values, want %d", len(got.State), dim)
+			}
+			for i := range want {
+				if got.State[i] != want[i] {
+					t.Fatalf("state[%d] = %v, want %v (quantized reconstruction must be bit-exact)", i, got.State[i], want[i])
+				}
+			}
+		})
+	}
+
+	t.Run("global/quant-delta-canonical", func(t *testing.T) {
+		caps := uint32(CapBinary | CapQuantInt8 | CapDelta)
+		canon, err := fl.EncodeDelta(fl.QuantInt8, seed, -1, 4, 3, prev, cur, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canonical, err := canon.Apply(prev, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := NewCodec(caps, seed, 0, ringBase(bases))
+		dec := NewCodec(caps, seed, 0, ringBase(bases))
+		msg := Message{Kind: KindGlobal, Round: 4, State: canonical, Canon: canon}
+		var buf bytes.Buffer
+		if err := WriteMessageWith(&buf, &msg, enc); err != nil {
+			t.Fatal(err)
+		}
+		var got Message
+		if err := ReadMessageWith(&buf, &got, dec); err != nil {
+			t.Fatal(err)
+		}
+		for i := range canonical {
+			if got.State[i] != canonical[i] {
+				t.Fatalf("state[%d] = %v, want canonical %v", i, got.State[i], canonical[i])
+			}
+		}
+	})
+
+	t.Run("update/quant-fallback-without-anchor", func(t *testing.T) {
+		// A quant-capable session whose base lookup misses (e.g. first
+		// exchange after a rejoin) must fall back to a raw lossless upload.
+		enc := NewCodec(CapBinary|CapQuantInt8, seed, 0, nil)
+		dec := NewCodec(CapBinary|CapQuantInt8, seed, 0, nil)
+		msg := Message{Kind: KindUpdate, ClientID: 1, Round: 9, State: testState(21, dim), NumSamples: 8}
+		var buf bytes.Buffer
+		if err := WriteMessageWith(&buf, &msg, enc); err != nil {
+			t.Fatal(err)
+		}
+		var got Message
+		if err := ReadMessageWith(&buf, &got, dec); err != nil {
+			t.Fatal(err)
+		}
+		assertMessageEqual(t, &got, &msg)
+	})
+
+	t.Run("global/delta-without-anchor-fails-decode", func(t *testing.T) {
+		enc := NewCodec(CapBinary|CapDelta, seed, 0, ringBase(bases))
+		dec := NewCodec(CapBinary|CapDelta, seed, 0, nil) // peer lost its anchor
+		var buf bytes.Buffer
+		if err := WriteMessageWith(&buf, &Message{Kind: KindGlobal, Round: 4, State: cur}, enc); err != nil {
+			t.Fatal(err)
+		}
+		var got Message
+		err := ReadMessageWith(&buf, &got, dec)
+		if err == nil || !strings.Contains(err.Error(), "no shared anchor") {
+			t.Fatalf("decode without anchor = %v, want anchor error", err)
+		}
+	})
+}
+
+// assertMessageEqual compares every wire-carried field exactly.
+func assertMessageEqual(t *testing.T, got, want *Message) {
+	t.Helper()
+	if got.Kind != want.Kind || got.ClientID != want.ClientID ||
+		got.Round != want.Round || got.NumSamples != want.NumSamples ||
+		got.Version != want.Version || got.LastRound != want.LastRound ||
+		got.RetryAfterMs != want.RetryAfterMs || got.Err != want.Err {
+		t.Fatalf("round trip mismatch: got %+v want %+v", *got, *want)
+	}
+	if len(got.Cohort) != len(want.Cohort) {
+		t.Fatalf("cohort %v, want %v", got.Cohort, want.Cohort)
+	}
+	for i := range want.Cohort {
+		if got.Cohort[i] != want.Cohort[i] {
+			t.Fatalf("cohort %v, want %v", got.Cohort, want.Cohort)
+		}
+	}
+	if len(got.State) != len(want.State) {
+		t.Fatalf("state length %d, want %d", len(got.State), len(want.State))
+	}
+	for i := range want.State {
+		if got.State[i] != want.State[i] {
+			t.Fatalf("state[%d] = %v, want %v", i, got.State[i], want.State[i])
+		}
+	}
+}
+
+// TestFlateActuallyCompresses pins down that a compressible broadcast goes
+// out smaller than its raw encoding and still round-trips exactly.
+func TestFlateActuallyCompresses(t *testing.T) {
+	const dim = 4096
+	state := make([]float64, dim) // all zeros: maximally compressible
+	plain := NewCodec(CapBinary, 0, 0, nil)
+	flated := NewCodec(CapBinary|CapFlate, 0, 0, nil)
+	var rawBuf, zBuf bytes.Buffer
+	if err := WriteMessageWith(&rawBuf, &Message{Kind: KindGlobal, Round: 1, State: state}, plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMessageWith(&zBuf, &Message{Kind: KindGlobal, Round: 1, State: state}, flated); err != nil {
+		t.Fatal(err)
+	}
+	if zBuf.Len() >= rawBuf.Len()/10 {
+		t.Fatalf("flate frame is %d bytes vs %d raw; expected at least 10x on a zero state", zBuf.Len(), rawBuf.Len())
+	}
+	var got Message
+	if err := ReadMessageWith(&zBuf, &got, flated); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.State) != dim {
+		t.Fatalf("decoded %d values, want %d", len(got.State), dim)
+	}
+	for i, v := range got.State {
+		if v != 0 {
+			t.Fatalf("state[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+// binaryFrame encodes one message as a v3 frame and returns the raw bytes.
+func binaryFrame(t *testing.T, msg *Message, c *Codec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessageWith(&buf, msg, c); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBinaryFrameMalformed table-drives the binary decoder's failure paths:
+// every length field is lied about in turn, and every lie must produce an
+// error (never a panic, never a giant allocation, never trailing-garbage
+// acceptance).
+func TestBinaryFrameMalformed(t *testing.T) {
+	codec := NewCodec(CapBinary, 0, 0, nil)
+	valid := binaryFrame(t, &Message{Kind: KindUpdate, ClientID: 2, Round: 3, State: []float64{1, 2, 3}, NumSamples: 5}, codec)
+
+	mutate := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		mut(b)
+		return b
+	}
+	le32 := binary.LittleEndian.PutUint32
+
+	cases := []struct {
+		name    string
+		raw     []byte
+		wantErr string
+	}{
+		{"empty", nil, "read header"},
+		{"short length", mutate(func(b []byte) { le32(b, minFrameLen-1) }), "out of range"},
+		{"over max length", mutate(func(b []byte) { le32(b, maxFrameBytes+1) }), "out of range"},
+		{"huge length truncated stream", mutate(func(b []byte) { le32(b, maxFrameBytes) }), "read payload"},
+		{"bad magic", mutate(func(b []byte) { b[4] = 0x99 }), "bad frame magic"},
+		{"gob frame on binary session", func() []byte {
+			var buf bytes.Buffer
+			if err := WriteMessage(&buf, &Message{Kind: KindHello, Version: ProtocolVersion}); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}(), "out of range"}, // big-endian gob length parses as a huge little-endian value
+		{"unknown kind", mutate(func(b []byte) { b[5] = 0xEE }), "unknown frame kind"},
+		{"error text overruns", mutate(func(b []byte) { le32(b[4+fixedHeaderLen:], 1 << 20) }), "out of range"},
+		{"cohort count overruns", mutate(func(b []byte) { le32(b[4+fixedHeaderLen+4:], 1 << 24) }), "cohort count"},
+		{"stored length mismatch", mutate(func(b []byte) { le32(b[len(b)-3*8-4:], 7) }), "stored"},
+		{"truncated payload", valid[:len(valid)-2], "read payload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var msg Message
+			err := ReadMessageWith(bytes.NewReader(tc.raw), &msg, codec)
+			if err == nil {
+				t.Fatalf("expected error, decoded %+v", msg)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestNegotiateCaps pins the capability-intersection rules.
+func TestNegotiateCaps(t *testing.T) {
+	cases := []struct {
+		name              string
+		offer, advertised uint32
+		want              uint32
+	}{
+		{"full match", ClientCaps, ClientCaps, ClientCaps},
+		{"gob client", ClientCaps, 0, 0},
+		{"gob server", 0, ClientCaps, 0},
+		{"flate only", CapBinary | CapFlate, ClientCaps, CapBinary | CapFlate},
+		{"no binary no extras", CapFlate | CapDelta, ClientCaps, 0},
+		{"topk without quant cleared", CapBinary | CapTopK, ClientCaps, CapBinary},
+		{"topk with quant kept", CapBinary | CapQuantInt8 | CapTopK, ClientCaps, CapBinary | CapQuantInt8 | CapTopK},
+		{"client subset", CapBinary | CapFlate | CapQuantInt16 | CapDelta, CapBinary | CapDelta, CapBinary | CapDelta},
+	}
+	for _, tc := range cases {
+		if got := negotiateCaps(tc.offer, tc.advertised); got != tc.want {
+			t.Errorf("%s: negotiateCaps(%#x, %#x) = %#x, want %#x", tc.name, tc.offer, tc.advertised, got, tc.want)
+		}
+	}
+}
+
+// TestCapsLabel pins the /healthz codec labels.
+func TestCapsLabel(t *testing.T) {
+	cases := []struct {
+		caps uint32
+		want string
+	}{
+		{0, "gob"},
+		{CapBinary, "binary"},
+		{CapBinary | CapFlate, "binary+flate"},
+		{CapBinary | CapQuantInt8 | CapTopK | CapDelta, "binary+int8+topk+delta"},
+		{ClientCaps, "binary+flate+int16+topk+delta"},
+	}
+	for _, tc := range cases {
+		if got := CapsLabel(tc.caps); got != tc.want {
+			t.Errorf("CapsLabel(%#x) = %q, want %q", tc.caps, got, tc.want)
+		}
+	}
+}
+
+// TestPoolsDropOversizedBuffers is the bounded-pooling guard: a buffer past
+// maxPooledBytes must never be re-issued by its pool (one hostile-but-valid
+// giant frame must not pin tens of megabytes for the process lifetime).
+func TestPoolsDropOversizedBuffers(t *testing.T) {
+	big := make([]byte, maxPooledBytes+1)
+	bp := &big
+	putReadBuf(bp)
+	if got := readBufPool.Get().(*[]byte); cap(*got) > 0 && &(*got)[:1][0] == &big[0] {
+		t.Fatal("putReadBuf pooled a buffer beyond maxPooledBytes")
+	}
+
+	var wb bytes.Buffer
+	wb.Grow(maxPooledBytes + 1)
+	marker := wb.Bytes()[:1]
+	putWriteBuf(&wb)
+	if got := writeBufPool.Get().(*bytes.Buffer); got.Cap() > 0 && &got.Bytes()[:1][0] == &marker[0] {
+		t.Fatal("putWriteBuf pooled a buffer beyond maxPooledBytes")
+	}
+
+	state := make([]float64, maxPooledBytes/8+1)
+	PutState(state)
+	if got := GetState(); cap(got) > 0 && &got[:1][0] == &state[0] {
+		t.Fatal("PutState pooled a state buffer beyond maxPooledBytes")
+	}
+}
+
+// FuzzFrame throws arbitrary bytes at the binary decoder: it must return a
+// message or an error, never panic, and anything it accepts must survive a
+// re-encode/re-decode round trip.
+func FuzzFrame(f *testing.F) {
+	codec := NewCodec(CapBinary, 0, 0, nil)
+	seedMsgs := []*Message{
+		{Kind: KindGlobal, Round: 2, State: []float64{1, -2, 3.5}, Cohort: []int{0, 1}},
+		{Kind: KindUpdate, ClientID: 1, Round: 2, State: []float64{0.25}, NumSamples: 9},
+		{Kind: KindError, Err: "nope"},
+		{Kind: KindDrain, RetryAfterMs: 10},
+	}
+	for _, m := range seedMsgs {
+		var buf bytes.Buffer
+		if err := WriteMessageWith(&buf, m, codec); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	zc := NewCodec(CapBinary|CapFlate, 0, 0, nil)
+	var zbuf bytes.Buffer
+	if err := WriteMessageWith(&zbuf, &Message{Kind: KindGlobal, Round: 1, State: make([]float64, 256)}, zc); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(zbuf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{76, 0, 0, 0, frameMagic})
+	f.Add(func() []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint32(b[:4], maxFrameBytes)
+		b[4] = frameMagic
+		return b[:]
+	}())
+
+	full := NewCodec(ClientCaps, 3, 0.5, nil)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var msg Message
+		if err := ReadMessageWith(bytes.NewReader(raw), &msg, full); err != nil {
+			return
+		}
+		if msg.Kind < KindHello || msg.Kind > KindWire {
+			t.Fatalf("decoder accepted invalid kind %d", msg.Kind)
+		}
+		// Re-encode with a plain binary codec (no lossy transforms) and
+		// decode again: the wire fields must be stable.
+		var out bytes.Buffer
+		if err := WriteMessageWith(&out, &msg, codec); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		var again Message
+		if err := ReadMessageWith(&out, &again, codec); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Kind != msg.Kind || again.ClientID != msg.ClientID || again.Round != msg.Round ||
+			again.NumSamples != msg.NumSamples || again.Err != msg.Err || len(again.State) != len(msg.State) {
+			t.Fatalf("round trip changed message: %+v vs %+v", again, msg)
+		}
+		for i := range msg.State {
+			if again.State[i] != msg.State[i] && !(math.IsNaN(again.State[i]) && math.IsNaN(msg.State[i])) {
+				t.Fatalf("state[%d] changed: %v vs %v", i, again.State[i], msg.State[i])
+			}
+		}
+	})
+}

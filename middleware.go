@@ -66,6 +66,25 @@ type ServerOptions struct {
 	// streaming-capable aggregation rule; otherwise the server logs a
 	// warning and materializes).
 	Streaming bool
+	// Wire selects the transport framing: "" or "binary" offers the v3
+	// binary frame format (clients negotiate down to gob transparently),
+	// "gob" pins the legacy encoding and rejects the codec options below.
+	Wire string
+	// Compress offers per-frame flate compression to binary clients.
+	Compress bool
+	// Quantize offers stochastic quantization of client uploads: "",
+	// "none", "int8", or "int16". Incompatible with secure-aggregation
+	// (cohort-aware) defenses.
+	Quantize string
+	// TopK, in (0, 1), additionally sparsifies quantized uploads to the
+	// top fraction of coordinates by magnitude. Requires Quantize.
+	TopK float64
+	// Delta offers delta-encoded global broadcasts against the client's
+	// last completed round.
+	Delta bool
+	// QuantSeed seeds the stochastic quantizer; 0 adopts the checkpoint's
+	// recorded seed when resuming, else Config.Seed.
+	QuantSeed int64
 	// Logf receives fault-tolerance progress lines (optional).
 	Logf func(format string, args ...any)
 	// AdminAddr, if non-empty, starts an HTTP observability listener
@@ -121,6 +140,15 @@ func NewMiddlewareServer(opts ServerOptions) (*MiddlewareServer, error) {
 		SampleSeedDefault: cfg.Seed,
 		AsyncStaleness:    opts.AsyncStaleness,
 		Streaming:         opts.Streaming,
+		Wire:              opts.Wire,
+		Compress:          opts.Compress,
+		Quantize:          opts.Quantize,
+		TopK:              opts.TopK,
+		Delta:             opts.Delta,
+		// Same pass-through contract as SampleSeed: 0 must reach flnet so
+		// a resumed federation adopts the checkpoint's quantizer seed.
+		QuantSeed:        opts.QuantSeed,
+		QuantSeedDefault: cfg.Seed,
 		Defense:           def,
 		InitialState:      m.StateVector(),
 		CheckpointPath:    opts.CheckpointPath,
@@ -213,6 +241,10 @@ type ClientOptions struct {
 	// consecutive failures double it with jitter. 0 means the default
 	// (100ms).
 	BaseBackoff time.Duration
+	// Wire selects the transport framing: "" or "binary" advertises the
+	// v3 binary codecs in the Hello (the server picks the intersection),
+	// "gob" pins the legacy encoding.
+	Wire string
 	// PrivateCheckpointPath, if non-empty, persists the client's DINAR
 	// private-layer store after every round and restores it on startup
 	// from the newest intact generation. Losing this store costs the
@@ -291,6 +323,7 @@ func RunMiddlewareClient(ctx context.Context, opts ClientOptions) (*ParticipantR
 		Defense:     def,
 		MaxRetries:  opts.MaxRetries,
 		BaseBackoff: opts.BaseBackoff,
+		Wire:        opts.Wire,
 		Logf:        opts.Logf,
 	}
 	if opts.PrivateCheckpointPath != "" {
