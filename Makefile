@@ -27,11 +27,17 @@
 #   make wirebench  - wire-protocol benchmarks (binary frame encode/decode
 #                     throughput, bytes per federation round with the full
 #                     codec stack), merged into BENCH_hotpath.json
+#   make bench-check - perf regression gate: rerun the benchmarks recorded
+#                     in BENCH_hotpath.json and fail past +15% ns/op (or if
+#                     a 0-alloc entry starts allocating); failing entries
+#                     are retried and the minimum kept, so the gate trips
+#                     on real regressions rather than scheduler noise
 #   make check      - everything above
 #   make fuzz       - short fuzz pass over the wire-protocol decoders (gob
 #                     and binary frames), the update screen, the /healthz
-#                     JSON round trip, and the checkpoint envelope (CRC +
-#                     corruption invariants)
+#                     JSON round trip, the checkpoint envelope (CRC +
+#                     corruption invariants), and the blocked-GEMM shape
+#                     dispatch (arbitrary shapes vs the naive reference)
 #   make bench      - kernel + per-layer hot-path microbenchmarks
 #   make bench-json - rerun the tracked hot-path suite, updating
 #                     BENCH_hotpath.json (baseline section is preserved)
@@ -41,7 +47,7 @@
 
 GO ?= go
 
-.PHONY: verify vet race adversary alloc parallel telemetry chaos soak wirebench check fuzz bench bench-json bench-scaling
+.PHONY: verify vet race adversary alloc parallel telemetry chaos soak wirebench bench-check check fuzz bench bench-json bench-scaling
 
 verify:
 	$(GO) build ./...
@@ -82,7 +88,10 @@ soak:
 wirebench:
 	$(GO) run ./cmd/dinar-bench -only wire_encode,wire_decode,bytes_per_round -json BENCH_hotpath.json
 
-check: verify vet race adversary alloc parallel telemetry chaos soak wirebench
+bench-check:
+	$(GO) run ./cmd/dinar-bench -compare -json BENCH_hotpath.json
+
+check: verify vet race adversary alloc parallel telemetry chaos soak wirebench bench-check
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/tensor/ ./internal/nn/
@@ -100,3 +109,4 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzHealthJSON -fuzztime=30s ./internal/telemetry/
 	$(GO) test -run=NONE -fuzz=FuzzEnvelope$$ -fuzztime=30s ./internal/checkpoint/
 	$(GO) test -run=NONE -fuzz=FuzzEnvelopeCorruption -fuzztime=30s ./internal/checkpoint/
+	$(GO) test -run=NONE -fuzz=FuzzBlockedGEMM -fuzztime=30s ./internal/tensor/

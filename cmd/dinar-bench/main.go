@@ -13,6 +13,10 @@
 //	                                     # and efficiency per CPU count, with
 //	                                     # a serial-vs-parallel bit-identity
 //	                                     # gate before any timing
+//	dinar-bench -compare -json BENCH_hotpath.json
+//	                                     # perf gate: rerun the recorded
+//	                                     # benchmarks, exit non-zero past
+//	                                     # +15% ns/op (see -threshold)
 //
 // The rows printed correspond to the bars/curves/cells of the paper's
 // artifact; EXPERIMENTS.md records paper-vs-measured values. Beyond the
@@ -55,6 +59,8 @@ func run(args []string) error {
 		only     = fs.String("only", "", "comma-separated benchmark names to run instead of the whole suite; with -json, named entries are merged into the file and the rest preserved")
 		scaling  = fs.Bool("scaling", false, "sweep the suite over GOMAXPROCS settings, verify parallel paths stay bit-identical to serial, and record speedup/efficiency (use with -json)")
 		cpus     = fs.String("cpus", "", "comma-separated GOMAXPROCS settings for -scaling (default 1,2,4,NumCPU)")
+		compare  = fs.Bool("compare", false, "rerun the benchmarks recorded in the -json file and exit non-zero on ns/op regression beyond -threshold (perf gate; does not rewrite the file)")
+		thresh   = fs.Float64("threshold", bench.DefaultCompareThreshold, "regression budget for -compare as a fraction (0.15 = fail beyond +15% ns/op)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +69,28 @@ func run(args []string) error {
 		for _, id := range experiment.IDs() {
 			fmt.Println(id)
 		}
+		return nil
+	}
+	if *compare {
+		path := *jsonPath
+		if path == "" {
+			path = "BENCH_hotpath.json"
+		}
+		fmt.Printf("comparing against %s (threshold +%.0f%%)...\n", path, *thresh*100)
+		entries, ok, err := bench.RunCompare(path, *thresh, func(format string, a ...any) {
+			fmt.Printf(format, a...)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		for _, e := range entries {
+			fmt.Println(e)
+		}
+		if !ok {
+			return fmt.Errorf("performance regression beyond +%.0f%%", *thresh*100)
+		}
+		fmt.Println("bench-check: no regressions")
 		return nil
 	}
 	if *scaling {

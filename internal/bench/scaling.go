@@ -97,7 +97,19 @@ func RunScaling(counts []int, logf func(format string, args ...any)) (*ScalingRe
 			}
 		}
 	}
-	for name, rs := range rep.Results {
+	rep.finalize()
+	return rep, nil
+}
+
+// finalize computes each measurement's speedup and efficiency relative to
+// the sweep's smallest CPU count. Exposed (package-internally) so the
+// derivation is unit-testable on synthetic multi-CPU data independent of a
+// real sweep.
+func (r *ScalingReport) finalize() {
+	for name, rs := range r.Results {
+		if len(rs) == 0 {
+			continue
+		}
 		base := float64(rs[0].NsPerOp)
 		for i := range rs {
 			if rs[i].NsPerOp > 0 {
@@ -105,9 +117,8 @@ func RunScaling(counts []int, logf func(format string, args ...any)) (*ScalingRe
 				rs[i].Efficiency = rs[i].Speedup * float64(rs[0].GOMAXPROCS) / float64(rs[i].GOMAXPROCS)
 			}
 		}
-		rep.Results[name] = rs
+		r.Results[name] = rs
 	}
-	return rep, nil
 }
 
 // quickFig4 runs the seeded quick-scale Figure 4 experiment and returns a
@@ -148,6 +159,7 @@ func CheckParallelDeterminism(workers int) error {
 	bt := tensor.Randn(rng, 0, 1, 29, 23)
 	at := tensor.Randn(rng, 0, 1, 23, 37)
 	x4 := tensor.Randn(rng, 0, 1, 5, 3, 9, 9)
+	x2 := tensor.Randn(rng, 0, 1, 9, 13)
 
 	variants := []variant{
 		{"matmul", func() []float64 {
@@ -173,6 +185,15 @@ func CheckParallelDeterminism(workers int) error {
 		}},
 		{"conv2d_step", func() []float64 {
 			return layerFingerprint(nn.NewConv2D(3, 4, 3, 1, 1, rand.New(rand.NewSource(11))), x4)
+		}},
+		{"conv2d_infer_direct", func() []float64 {
+			// Inference forwards dispatch to the direct (im2col-free) path;
+			// its batch-parallel window walk must stay serial-identical.
+			layer := nn.NewConv2D(3, 4, 3, 1, 1, rand.New(rand.NewSource(11)))
+			return append([]float64(nil), layer.Forward(x4, false).Data()...)
+		}},
+		{"dense_act_step", func() []float64 {
+			return layerFingerprint(nn.NewDenseAct(13, 7, nn.ActTanh, rand.New(rand.NewSource(13))), x2)
 		}},
 		{"batchnorm_step", func() []float64 { return layerFingerprint(nn.NewBatchNorm(3), x4) }},
 		{"maxpool_step", func() []float64 { return layerFingerprint(nn.NewMaxPool2D(2), x4) }},

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// syntheticReport models a 4-CPU host sweep: near-linear scaling to 2 CPUs,
+// saturating at 4, with an oversubscribed 8-CPU row.
+func syntheticReport() *ScalingReport {
+	return &ScalingReport{
+		HostCPUs:  4,
+		CPUCounts: []int{1, 2, 4, 8},
+		Results: map[string][]ScalingResult{
+			"matmul": {
+				{GOMAXPROCS: 1, NsPerOp: 1000},
+				{GOMAXPROCS: 2, NsPerOp: 520},
+				{GOMAXPROCS: 4, NsPerOp: 300},
+				{GOMAXPROCS: 8, NsPerOp: 310, Degenerate: true},
+			},
+		},
+	}
+}
+
+func TestScalingFinalizeSpeedupEfficiency(t *testing.T) {
+	rep := syntheticReport()
+	rep.finalize()
+	rs := rep.Results["matmul"]
+	if rs[0].Speedup != 1.0 || rs[0].Efficiency != 1.0 {
+		t.Errorf("base row: speedup=%v efficiency=%v, want 1.0/1.0", rs[0].Speedup, rs[0].Efficiency)
+	}
+	if got, want := rs[1].Speedup, 1000.0/520.0; got != want {
+		t.Errorf("2-CPU speedup = %v, want %v", got, want)
+	}
+	if got, want := rs[1].Efficiency, (1000.0/520.0)/2; got != want {
+		t.Errorf("2-CPU efficiency = %v, want %v", got, want)
+	}
+	if got, want := rs[2].Efficiency, (1000.0/300.0)/4; got != want {
+		t.Errorf("4-CPU efficiency = %v, want %v", got, want)
+	}
+	// Degenerate rows still get numbers (the flag, not zeroing, hides them).
+	if rs[3].Speedup == 0 {
+		t.Error("degenerate row lost its measurement")
+	}
+}
+
+func TestScalingFinalizeZeroNsGuard(t *testing.T) {
+	rep := &ScalingReport{
+		HostCPUs: 1,
+		Results: map[string][]ScalingResult{
+			"x": {{GOMAXPROCS: 1, NsPerOp: 1000}, {GOMAXPROCS: 2, NsPerOp: 0}},
+		},
+	}
+	rep.finalize() // must not divide by zero
+	if rep.Results["x"][1].Speedup != 0 {
+		t.Errorf("zero-ns row got speedup %v", rep.Results["x"][1].Speedup)
+	}
+}
+
+func TestScalingMarkdownTableSkipsDegenerate(t *testing.T) {
+	rep := syntheticReport()
+	rep.finalize()
+	table := rep.MarkdownTable()
+	if !strings.Contains(table, "| matmul | 1 |") || !strings.Contains(table, "| matmul | 4 |") {
+		t.Fatalf("table missing in-budget rows:\n%s", table)
+	}
+	if strings.Contains(table, "| matmul | 8 |") {
+		t.Fatalf("table shows oversubscribed row:\n%s", table)
+	}
+	if !strings.Contains(table, "1 oversubscribed measurement(s)") {
+		t.Fatalf("table hides the omission:\n%s", table)
+	}
+}
+
+func TestScalingMarkdownTableDegenerateHost(t *testing.T) {
+	// On a 1-CPU host every row past GOMAXPROCS=1 is degenerate — the table
+	// must say so rather than print misleading "speedups".
+	rep := &ScalingReport{
+		HostCPUs:  1,
+		CPUCounts: []int{1, 2},
+		Results: map[string][]ScalingResult{
+			"x": {
+				{GOMAXPROCS: 1, NsPerOp: 1000},
+				{GOMAXPROCS: 2, NsPerOp: 1400, Degenerate: true},
+			},
+		},
+	}
+	rep.finalize()
+	table := rep.MarkdownTable()
+	if strings.Contains(table, "| x | 2 |") {
+		t.Fatalf("1-CPU host table shows oversubscribed speedup:\n%s", table)
+	}
+	if !strings.Contains(table, "GOMAXPROCS > 1 host CPUs") {
+		t.Fatalf("table missing host-CPU note:\n%s", table)
+	}
+}

@@ -112,8 +112,7 @@ func VGG11(inChannels, height, width, classes int, rng *rand.Rand) (*nn.Model, e
 	flat := in * spatial * spatial
 	layers = append(layers,
 		nn.NewFlatten(),
-		nn.NewDense(flat, 32, rng),
-		nn.NewReLU(),
+		nn.NewDenseAct(flat, 32, nn.ActReLU, rng),
 		nn.NewDense(32, classes, rng),
 	)
 	return nn.NewModel(layers...), nil
@@ -173,7 +172,7 @@ func FCNN6(features, classes int, rng *rand.Rand) *nn.Model {
 	var layers []nn.Layer
 	in := features
 	for _, w := range fcnnWidths {
-		layers = append(layers, nn.NewDense(in, w, rng), nn.NewTanh())
+		layers = append(layers, nn.NewDenseAct(in, w, nn.ActTanh, rng))
 		in = w
 	}
 	layers = append(layers, nn.NewDense(in, classes, rng))

@@ -90,6 +90,27 @@ func (c *Conv1D) cloneLayer() Layer {
 // OutLen returns the output length for an input of length l.
 func (c *Conv1D) OutLen(l int) int { return (l+2*c.Pad-c.K)/c.Stride + 1 }
 
+// interior returns the [lo, hi) range of output positions whose receptive
+// field lies fully inside an input of length l: for o in that range the
+// window [o*Stride-Pad, o*Stride-Pad+K) needs no clipping, so the inner
+// loops can drop their per-tap bounds tests. hi is 0 when the kernel is
+// longer than the padded input ever allows (K > l+Pad).
+func (c *Conv1D) interior(l, ol int) (lo, hi int) {
+	if num := l - c.K + c.Pad; num >= 0 {
+		hi = num/c.Stride + 1
+	}
+	if hi > ol {
+		hi = ol
+	}
+	if c.Pad > 0 {
+		lo = (c.Pad + c.Stride - 1) / c.Stride
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
 // Forward implements Layer.
 func (c *Conv1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Dims() != 3 || x.Dim(1) != c.InC {
@@ -103,24 +124,50 @@ func (c *Conv1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	c.lastX = x
 	out := c.ws.Get3D(conv1dSlotOut, batch, c.OutC, ol)
 	xd, od, wd, bd := x.Data(), out.Data(), c.w.Data(), c.b.Data()
+	oLo, oHi := c.interior(l, ol)
+	// The channel loop sits outside the position loop so the source row and
+	// weight row are sliced once per (oc, ic) instead of once per tap group.
+	// Each output element still accumulates bias first, then ic-ascending,
+	// k-ascending products — the same sequence as the per-element loop this
+	// replaces, so results are bit-identical.
 	for bi := 0; bi < batch; bi++ {
 		for oc := 0; oc < c.OutC; oc++ {
-			dst := od[(bi*c.OutC+oc)*ol : (bi*c.OutC+oc+1)*ol]
-			for o := 0; o < ol; o++ {
-				i0 := o*c.Stride - c.Pad
-				sum := bd[oc]
-				for ic := 0; ic < c.InC; ic++ {
-					src := xd[(bi*c.InC+ic)*l : (bi*c.InC+ic+1)*l]
-					wRow := wd[(oc*c.InC+ic)*c.K : (oc*c.InC+ic+1)*c.K]
-					for k := 0; k < c.K; k++ {
-						i := i0 + k
-						if i < 0 || i >= l {
-							continue
+			dst := od[(bi*c.OutC+oc)*ol:][:ol]
+			bias := bd[oc]
+			for o := range dst {
+				dst[o] = bias
+			}
+			for ic := 0; ic < c.InC; ic++ {
+				src := xd[(bi*c.InC+ic)*l:][:l]
+				wRow := wd[(oc*c.InC+ic)*c.K:][:c.K]
+				for o := 0; o < oLo; o++ { // left border: window clipped below 0
+					i0 := o*c.Stride - c.Pad
+					s := dst[o]
+					for k, wv := range wRow {
+						if i := i0 + k; i >= 0 && i < l {
+							s += wv * src[i]
 						}
-						sum += wRow[k] * src[i]
 					}
+					dst[o] = s
 				}
-				dst[o] = sum
+				for o := oLo; o < oHi; o++ { // interior: no clipping, no bounds checks
+					window := src[o*c.Stride-c.Pad:][:len(wRow)]
+					s := dst[o]
+					for k, wv := range wRow {
+						s += wv * window[k]
+					}
+					dst[o] = s
+				}
+				for o := oHi; o < ol; o++ { // right border: window clipped at l
+					i0 := o*c.Stride - c.Pad
+					s := dst[o]
+					for k, wv := range wRow {
+						if i := i0 + k; i >= 0 && i < l {
+							s += wv * src[i]
+						}
+					}
+					dst[o] = s
+				}
 			}
 		}
 	}
@@ -140,27 +187,64 @@ func (c *Conv1D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	gradIn.Zero() // the scatter below accumulates
 	xd, gd := c.lastX.Data(), gradOut.Data()
 	gid, gwd, gbd, wd := gradIn.Data(), c.gw.Data(), c.gb.Data(), c.w.Data()
+	oLo, oHi := c.interior(l, ol)
+	// Same restructuring as Forward: channels outside positions so the four
+	// row slices hoist out of the tap loop, with a clip-free interior range.
+	// Every accumulator (gb per oc; gw per tap; gradIn per input element)
+	// still receives its contributions in the original order — gb over
+	// (bi, o) ascending, gw over (bi, o) ascending, gradIn over (oc, o, k)
+	// ascending — so gradients are bit-identical.
 	for bi := 0; bi < batch; bi++ {
 		for oc := 0; oc < c.OutC; oc++ {
-			gRow := gd[(bi*c.OutC+oc)*ol : (bi*c.OutC+oc+1)*ol]
-			for o, g := range gRow {
+			gRow := gd[(bi*c.OutC+oc)*ol:][:ol]
+			for _, g := range gRow {
 				if g == 0 {
 					continue
 				}
 				gbd[oc] += g
-				i0 := o*c.Stride - c.Pad
-				for ic := 0; ic < c.InC; ic++ {
-					src := xd[(bi*c.InC+ic)*l : (bi*c.InC+ic+1)*l]
-					giRow := gid[(bi*c.InC+ic)*l : (bi*c.InC+ic+1)*l]
-					wRow := wd[(oc*c.InC+ic)*c.K : (oc*c.InC+ic+1)*c.K]
-					gwRow := gwd[(oc*c.InC+ic)*c.K : (oc*c.InC+ic+1)*c.K]
-					for k := 0; k < c.K; k++ {
-						i := i0 + k
-						if i < 0 || i >= l {
-							continue
+			}
+			for ic := 0; ic < c.InC; ic++ {
+				src := xd[(bi*c.InC+ic)*l:][:l]
+				giRow := gid[(bi*c.InC+ic)*l:][:l]
+				wRow := wd[(oc*c.InC+ic)*c.K:][:c.K]
+				gwRow := gwd[(oc*c.InC+ic)*c.K:][:len(wRow)]
+				for o := 0; o < oLo; o++ { // left border
+					g := gRow[o]
+					if g == 0 {
+						continue
+					}
+					i0 := o*c.Stride - c.Pad
+					for k, wv := range wRow {
+						if i := i0 + k; i >= 0 && i < l {
+							gwRow[k] += g * src[i]
+							giRow[i] += g * wv
 						}
-						gwRow[k] += g * src[i]
-						giRow[i] += g * wRow[k]
+					}
+				}
+				for o := oLo; o < oHi; o++ { // interior: no clipping, no bounds checks
+					g := gRow[o]
+					if g == 0 {
+						continue
+					}
+					i0 := o*c.Stride - c.Pad
+					window := src[i0:][:len(wRow)]
+					giWin := giRow[i0:][:len(wRow)]
+					for k, wv := range wRow {
+						gwRow[k] += g * window[k]
+						giWin[k] += g * wv
+					}
+				}
+				for o := oHi; o < ol; o++ { // right border
+					g := gRow[o]
+					if g == 0 {
+						continue
+					}
+					i0 := o*c.Stride - c.Pad
+					for k, wv := range wRow {
+						if i := i0 + k; i >= 0 && i < l {
+							gwRow[k] += g * src[i]
+							giRow[i] += g * wv
+						}
 					}
 				}
 			}

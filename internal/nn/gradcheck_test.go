@@ -124,6 +124,20 @@ func TestDenseGradients(t *testing.T) {
 	checkLayerGradients(t, layer, x, 1e-6)
 }
 
+func TestDenseReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	layer := NewDenseAct(7, 5, ActReLU, rng)
+	x := tensor.Randn(rng, 0, 1, 4, 7)
+	checkLayerGradients(t, layer, x, 1e-5)
+}
+
+func TestDenseTanhGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	layer := NewDenseAct(7, 5, ActTanh, rng)
+	x := tensor.Randn(rng, 0, 1, 4, 7)
+	checkLayerGradients(t, layer, x, 1e-6)
+}
+
 func TestConv2DGradients(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	layer := NewConv2D(2, 3, 3, 1, 1, rng)

@@ -35,6 +35,8 @@ func TestLayersPoolParallelBitIdentical(t *testing.T) {
 		{"batchnorm2d", func(r *rand.Rand) Layer { return NewBatchNorm(5) }, []int{5, 6, 5}},
 		{"batchnorm1d", func(r *rand.Rand) Layer { return NewBatchNorm(7) }, []int{7}},
 		{"relu", func(r *rand.Rand) Layer { return NewReLU() }, []int{33}},
+		{"dense+relu", func(r *rand.Rand) Layer { return NewDenseAct(11, 9, ActReLU, r) }, []int{11}},
+		{"dense+tanh", func(r *rand.Rand) Layer { return NewDenseAct(11, 9, ActTanh, r) }, []int{11}},
 		{"tanh", func(r *rand.Rand) Layer { return NewTanh() }, []int{29}},
 		{"maxpool2d", func(r *rand.Rand) Layer { return NewMaxPool2D(2) }, []int{3, 8, 6}},
 		{"maxpool1d", func(r *rand.Rand) Layer { return NewMaxPool1D(3) }, []int{2, 27}},

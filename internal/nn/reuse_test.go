@@ -19,6 +19,8 @@ type reuseCase struct {
 
 var reuseCases = []reuseCase{
 	{"dense", func(r *rand.Rand) Layer { return NewDense(7, 5, r) }, []int{7}},
+	{"dense+relu", func(r *rand.Rand) Layer { return NewDenseAct(7, 5, ActReLU, r) }, []int{7}},
+	{"dense+tanh", func(r *rand.Rand) Layer { return NewDenseAct(7, 5, ActTanh, r) }, []int{7}},
 	{"conv2d", func(r *rand.Rand) Layer { return NewConv2D(2, 3, 3, 1, 1, r) }, []int{2, 6, 6}},
 	{"conv2d-strided", func(r *rand.Rand) Layer { return NewConv2D(3, 4, 3, 2, 1, r) }, []int{3, 8, 8}},
 	{"conv1d", func(r *rand.Rand) Layer { return NewConv1D(2, 3, 5, 2, 2, r) }, []int{2, 12}},

@@ -1,0 +1,301 @@
+package tensor
+
+import (
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// Cache-blocked SIMD GEMM.
+//
+// The three matmul entry points (MatMul, MatMulTransA, MatMulTransB) share
+// one blocked driver over the AVX2 micro kernels in gemm_amd64.s. The
+// vectorization axis is the output column dimension: a 4×8 register tile
+// holds one accumulator lane per output element and walks the full inner
+// dimension before a single store, so each element sees exactly the scalar
+// kernels' operation sequence — k-ascending accumulate, one mul rounding and
+// one add rounding per step, rows skipped when the A element is exactly zero.
+// That makes the SIMD results bit-identical to the naive kernels (property-
+// tested and fuzzed in blocked_test.go), which keeps every seeded experiment
+// output unchanged.
+//
+// Layout handling:
+//
+//	NN (MatMul)        B row-major k×n: the kernel streams B rows directly,
+//	                   no packing needed.
+//	TA (MatMulTransA)  A stored transposed (k×m): the four A lanes of a K
+//	                   step sit contiguously, a dedicated kernel reads them
+//	                   in place — again no packing.
+//	TB (MatMulTransB)  B stored transposed (n×k): column lanes would stride
+//	                   by k, so B is packed once per multiply into a pooled
+//	                   row-major k×n buffer (a tiled transpose), shared
+//	                   read-only by all workers, then the NN kernel runs.
+//
+// KC is pinned to the full inner dimension by the bit-identity contract:
+// splitting K would sum block-partial results and round differently. MC and
+// NC block the output rows and columns so the B panel a row block streams
+// over stays cache-resident; their defaults come from the committed
+// BenchmarkGEMMBlockSweep measurements, not guesses (see README
+// "Performance").
+//
+// Work splits across the compute pool by output rows with the same
+// deterministic grain as the naive kernels, and every output element is
+// computed wholly inside one chunk, so worker count cannot move results.
+
+const (
+	// gemmMR × gemmNR is the register tile: 4 rows × 8 columns uses eight
+	// YMM accumulators, two B-row vectors, one broadcast and two product
+	// temporaries — 13 of the 16 YMM registers, leaving the runtime's
+	// reserved registers untouched.
+	gemmMR = 4
+	gemmNR = 8
+)
+
+// Blocking parameters, read once per multiply. They are plain package
+// variables mutated only by tests and the sweep harness; concurrent mutation
+// with in-flight multiplies is not supported.
+var (
+	gemmMC        = 64
+	gemmNC        = 256
+	gemmMinVolume = 1 << 15
+)
+
+// SetGEMMBlocking overrides the (MC, NC) cache-block sizes and returns the
+// previous values. Both are clamped to at least one register tile. Intended
+// for tests and the block-size sweep.
+func SetGEMMBlocking(mc, nc int) (prevMC, prevNC int) {
+	prevMC, prevNC = gemmMC, gemmNC
+	if mc < gemmMR {
+		mc = gemmMR
+	}
+	if nc < gemmNR {
+		nc = gemmNR
+	}
+	gemmMC, gemmNC = mc, nc
+	return prevMC, prevNC
+}
+
+// SetGEMMMinVolume overrides the m*k*n threshold below which the matmuls
+// stay on the naive kernels (kernel-call and packing overhead is not worth
+// amortizing), and returns the previous value. Tests use 1 to force every
+// shape through the blocked path.
+func SetGEMMMinVolume(v int) (prev int) {
+	prev = gemmMinVolume
+	if v < 1 {
+		v = 1
+	}
+	gemmMinVolume = v
+	return prev
+}
+
+// useBlockedGEMM reports whether a multiply of the given volume dispatches
+// to the blocked SIMD path.
+func useBlockedGEMM(m, k, n int) bool {
+	return haveAVX2 && m*k*n >= gemmMinVolume
+}
+
+// packBuf is a grow-only packing buffer recycled through a sync.Pool, so
+// steady-state multiplies perform no allocations.
+type packBuf struct{ d []float64 }
+
+var packBufPool = sync.Pool{New: func() any { return new(packBuf) }}
+
+func getPackBuf(n int) *packBuf {
+	pb := packBufPool.Get().(*packBuf)
+	if cap(pb.d) < n {
+		pb.d = make([]float64, n)
+	}
+	pb.d = pb.d[:n]
+	return pb
+}
+
+func putPackBuf(pb *packBuf) { packBufPool.Put(pb) }
+
+// gemmBlocked computes out = A × B for the logical m×k matrix A and k×n
+// matrix B. aTrans marks a as storing Aᵀ row-major (k×m, the MatMulTransA
+// case); bTrans marks b as storing Bᵀ row-major (n×k, the MatMulTransB
+// case).
+func gemmBlocked(out, a, b []float64, m, k, n int, aTrans, bTrans bool) {
+	if !haveAVX2 {
+		// Test-only path on machines without the micro kernels: fall back to
+		// the serial naive kernels (production dispatch never gets here).
+		switch {
+		case aTrans:
+			matMulTransACols(out, a, b, 0, m, m, k, n)
+		case bTrans:
+			matMulTransBRows(out, a, b, 0, m, k, n)
+		default:
+			matMulRows(out, a, b, 0, m, k, n)
+		}
+		return
+	}
+	var bt *packBuf
+	if bTrans {
+		bt = getPackBuf(k * n)
+		transposeInto(bt.d, b, n, k)
+		b = bt.d
+	}
+	lda := k
+	if aTrans {
+		lda = m
+	}
+	mc, nc := gemmMC, gemmNC
+	g := parallel.Grain(k * n)
+	if parallel.Chunks(m, g) <= 1 {
+		gemmRowsSIMD(out, a, b, 0, m, k, n, lda, aTrans, mc, nc)
+	} else {
+		bd := b
+		parallel.For(m, g, func(lo, hi int) {
+			gemmRowsSIMD(out, a, bd, lo, hi, k, n, lda, aTrans, mc, nc)
+		})
+	}
+	if bt != nil {
+		putPackBuf(bt)
+	}
+}
+
+// gemmRowsSIMD computes output rows [lo, hi): MC×NC output blocks are walked
+// tile by tile so the NC-wide B panel a row block streams over stays cache-
+// resident across the block's rows; ragged tile borders fall back to the
+// scalar edge kernel (identical per-element operation sequence).
+func gemmRowsSIMD(out, a, b []float64, lo, hi, k, n, lda int, aTrans bool, mc, nc int) {
+	for ic := lo; ic < hi; ic += mc {
+		ihi := min(ic+mc, hi)
+		for jc := 0; jc < n; jc += nc {
+			jhi := min(jc+nc, n)
+			i := ic
+			for ; i+gemmMR <= ihi; i += gemmMR {
+				j := jc
+				for ; j+gemmNR <= jhi; j += gemmNR {
+					if aTrans {
+						gemmTA4x8(&out[i*n+j], &a[i], &b[j], k, lda, n, n)
+					} else {
+						gemmNN4x8(&out[i*n+j], &a[i*lda], &b[j], k, lda, n, n)
+					}
+				}
+				if j < jhi {
+					gemmScalarTile(out, a, b, i, i+gemmMR, j, jhi, k, n, lda, aTrans)
+				}
+			}
+			if i < ihi {
+				gemmScalarTile(out, a, b, i, ihi, jc, jhi, k, n, lda, aTrans)
+			}
+		}
+	}
+}
+
+// gemmScalarTile computes the ragged border tile [i0,i1)×[j0,j1) with plain
+// scalar code: per element, a k-ascending register accumulation that skips
+// zero A elements — the same sequence as both the naive kernels and the SIMD
+// lanes.
+func gemmScalarTile(out, a, b []float64, i0, i1, j0, j1, k, n, lda int, aTrans bool) {
+	for i := i0; i < i1; i++ {
+		if aTrans {
+			for j := j0; j < j1; j++ {
+				var acc float64
+				for p := 0; p < k; p++ {
+					av := a[p*lda+i]
+					if av == 0 {
+						continue
+					}
+					acc += av * b[p*n+j]
+				}
+				out[i*n+j] = acc
+			}
+			continue
+		}
+		aRow := a[i*lda:][:k]
+		for j := j0; j < j1; j++ {
+			var acc float64
+			for p, av := range aRow {
+				if av == 0 {
+					continue
+				}
+				acc += av * b[p*n+j]
+			}
+			out[i*n+j] = acc
+		}
+	}
+}
+
+// transposeInto writes the transpose of the rows×cols row-major matrix src
+// into dst (cols×rows), in transposeTile×transposeTile blocks so both the
+// reads and the writes stay within cache lines.
+func transposeInto(dst, src []float64, rows, cols int) {
+	for i0 := 0; i0 < rows; i0 += transposeTile {
+		i1 := min(i0+transposeTile, rows)
+		for j0 := 0; j0 < cols; j0 += transposeTile {
+			j1 := min(j0+transposeTile, cols)
+			for i := i0; i < i1; i++ {
+				row := src[i*cols : i*cols+cols]
+				for j := j0; j < j1; j++ {
+					dst[j*rows+i] = row[j]
+				}
+			}
+		}
+	}
+}
+
+// GEMMPanel computes the m×n panel C = A × B against row-major operands with
+// explicit leading dimensions: C[i*ldc+j] = Σ_p A[i*lda+p]·B[p*ldb+j]. Per
+// element the accumulation is k-ascending with the zero-skip convention —
+// bit-identical to the naive kernels and to the blocked matmul path. The
+// direct convolution path uses it to multiply gathered window panels against
+// packed weights without materializing an im2col matrix.
+func GEMMPanel(c []float64, ldc int, a []float64, lda int, b []float64, ldb int, m, k, n int) {
+	if !haveAVX2 {
+		gemmScalarPanel(c, ldc, a, lda, b, ldb, 0, m, 0, n, k)
+		return
+	}
+	i := 0
+	for ; i+gemmMR <= m; i += gemmMR {
+		j := 0
+		for ; j+gemmNR <= n; j += gemmNR {
+			gemmNN4x8(&c[i*ldc+j], &a[i*lda], &b[j], k, lda, ldb, ldc)
+		}
+		if j < n {
+			gemmScalarPanel(c, ldc, a, lda, b, ldb, i, i+gemmMR, j, n, k)
+		}
+	}
+	if i < m {
+		gemmScalarPanel(c, ldc, a, lda, b, ldb, i, m, 0, n, k)
+	}
+}
+
+// gemmScalarPanel is the strided scalar edge kernel behind GEMMPanel: the
+// per-element operation sequence matches the SIMD lanes exactly.
+func gemmScalarPanel(c []float64, ldc int, a []float64, lda int, b []float64, ldb int, i0, i1, j0, j1, k int) {
+	for i := i0; i < i1; i++ {
+		aRow := a[i*lda:][:k]
+		for j := j0; j < j1; j++ {
+			var acc float64
+			for p, av := range aRow {
+				if av == 0 {
+					continue
+				}
+				acc += av * b[p*ldb+j]
+			}
+			c[i*ldc+j] = acc
+		}
+	}
+}
+
+// AxpyInto accumulates dst[i] += alpha·x[i] over len(x) elements. Each
+// element is an independent lane (one mul rounding, one add rounding), so
+// the SIMD version is bit-identical to the scalar loop; rank-1 gradient
+// updates in the direct convolution path use it without changing results.
+func AxpyInto(dst, x []float64, alpha float64) {
+	if len(dst) < len(x) {
+		panic("tensor: AxpyInto dst shorter than x")
+	}
+	if len(x) == 0 {
+		return
+	}
+	if haveAVX2 {
+		daxpyAVX(&dst[0], &x[0], len(x), alpha)
+		return
+	}
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}

@@ -45,6 +45,10 @@ func MatMulInto(out, a, b *Tensor) error {
 // small multiplies stay allocation-free.
 
 func matMulInto(out, a, b []float64, m, k, n int) {
+	if useBlockedGEMM(m, k, n) {
+		gemmBlocked(out, a, b, m, k, n, false, false)
+		return
+	}
 	g := parallel.Grain(k * n)
 	if parallel.Chunks(m, g) <= 1 {
 		matMulRows(out, a, b, 0, m, k, n)
@@ -115,6 +119,10 @@ func MatMulTransBInto(out, a, b *Tensor) error {
 }
 
 func matMulTransBInto(out, a, b []float64, m, k, n int) {
+	if useBlockedGEMM(m, k, n) {
+		gemmBlocked(out, a, b, m, k, n, false, true)
+		return
+	}
 	g := parallel.Grain(k * n)
 	if parallel.Chunks(m, g) <= 1 {
 		matMulTransBRows(out, a, b, 0, m, k, n)
@@ -206,6 +214,10 @@ func MatMulTransAInto(out, a, b *Tensor) error {
 }
 
 func matMulTransAInto(out, a, b []float64, m, k, n int) {
+	if useBlockedGEMM(m, k, n) {
+		gemmBlocked(out, a, b, m, k, n, true, false)
+		return
+	}
 	g := parallel.Grain(k * n)
 	if parallel.Chunks(m, g) <= 1 {
 		matMulTransACols(out, a, b, 0, m, m, k, n)
