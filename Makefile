@@ -24,6 +24,13 @@
 #                     partitioned-memory / async scale soaks, and the
 #                     sampling crash-resume + quarantine property tests
 #                     (make chaos runs the same soaks at full 10k scale)
+#   make service    - multi-tenant control-plane acceptance under -race:
+#                     the concurrent-job soak (3 named federations in one
+#                     process on fleetsim listeners), rolling restart with
+#                     bit-identical resume, the job-churn leak hammer, the
+#                     admin REST validation matrix, front-door rate
+#                     limiting, pause/resume, and the pipelined-vs-
+#                     sequential identity property tests
 #   make wirebench  - wire-protocol benchmarks (binary frame encode/decode
 #                     throughput, bytes per federation round with the full
 #                     codec stack), merged into BENCH_hotpath.json
@@ -36,8 +43,9 @@
 #   make fuzz       - short fuzz pass over the wire-protocol decoders (gob
 #                     and binary frames), the update screen, the /healthz
 #                     JSON round trip, the checkpoint envelope (CRC +
-#                     corruption invariants), and the blocked-GEMM shape
-#                     dispatch (arbitrary shapes vs the naive reference)
+#                     corruption invariants), the blocked-GEMM shape
+#                     dispatch (arbitrary shapes vs the naive reference),
+#                     and the service-mode job-spec decoder/validator
 #   make bench      - kernel + per-layer hot-path microbenchmarks
 #   make bench-json - rerun the tracked hot-path suite, updating
 #                     BENCH_hotpath.json (baseline section is preserved)
@@ -47,7 +55,7 @@
 
 GO ?= go
 
-.PHONY: verify vet race adversary alloc parallel telemetry chaos soak wirebench bench-check check fuzz bench bench-json bench-scaling
+.PHONY: verify vet race adversary alloc parallel telemetry chaos soak service wirebench bench-check check fuzz bench bench-json bench-scaling
 
 verify:
 	$(GO) build ./...
@@ -85,13 +93,17 @@ soak:
 	$(GO) test -race ./internal/fleetsim/
 	$(GO) test -race -short ./internal/chaos/ -run 'TestScaleSoak|TestSampledCohortResumeIdentity|TestQuarantinedClientNeverResampled'
 
+service:
+	$(GO) test -race -count=1 ./internal/service/
+	$(GO) test -race ./internal/chaos/ -run 'TestPipelinedMatchesSequential|TestPipelinedDrainResumeIdentity'
+
 wirebench:
 	$(GO) run ./cmd/dinar-bench -only wire_encode,wire_decode,bytes_per_round -json BENCH_hotpath.json
 
 bench-check:
 	$(GO) run ./cmd/dinar-bench -compare -json BENCH_hotpath.json
 
-check: verify vet race adversary alloc parallel telemetry chaos soak wirebench bench-check
+check: verify vet race adversary alloc parallel telemetry chaos soak service wirebench bench-check
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/tensor/ ./internal/nn/
@@ -110,3 +122,4 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzEnvelope$$ -fuzztime=30s ./internal/checkpoint/
 	$(GO) test -run=NONE -fuzz=FuzzEnvelopeCorruption -fuzztime=30s ./internal/checkpoint/
 	$(GO) test -run=NONE -fuzz=FuzzBlockedGEMM -fuzztime=30s ./internal/tensor/
+	$(GO) test -run=NONE -fuzz=FuzzJobSpec -fuzztime=30s ./internal/service/

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	dinar "repro"
+	"repro/internal/service"
 )
 
 func main() {
@@ -70,12 +71,21 @@ func run(args []string) error {
 		delta     = fs.Bool("delta", false, "delta-encode global broadcasts against each client's last completed round")
 		quantSeed = fs.Int64("quant-seed", 0, "stochastic-quantizer seed (0 = checkpoint's seed when resuming, else -seed)")
 
+		pipeline = fs.Bool("pipeline", false, "overlap each round's checkpoint write with the next round's broadcast (the persisted chain stays bit-identical)")
+
 		adminAddr = fs.String("admin-addr", "", "HTTP observability listen address serving /metrics, /healthz, and /debug/pprof/ (empty disables; \":0\" for an ephemeral port)")
+
+		svcMode  = fs.Bool("service", false, "multi-tenant service mode: host many named federation jobs in one process, managed via the admin API (POST /jobs etc.); the per-federation flags above are ignored")
+		stateDir = fs.String("state-dir", "", "service-mode state directory holding the job manifest and every job's checkpoint chain (required with -service)")
 
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget after SIGINT/SIGTERM: the in-flight round may finish within it before the final checkpoint is written (a second signal aborts immediately)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *svcMode {
+		return runService(*addr, *stateDir, *adminAddr, *drainTimeout)
 	}
 
 	srv, err := dinar.NewMiddlewareServer(dinar.ServerOptions{
@@ -102,6 +112,7 @@ func run(args []string) error {
 		TopK:             *topK,
 		Delta:            *delta,
 		QuantSeed:        *quantSeed,
+		Pipeline:         *pipeline,
 		CheckpointPath:   *ckpt,
 		NoScreen:         *noScreen,
 		ClipNorms:        *clipNorms,
@@ -166,5 +177,61 @@ func run(args []string) error {
 	}
 	fmt.Printf("dinar-server: federation finished in %s; final global state has %d values (%d client drops across %d rounds)\n",
 		time.Since(start).Round(time.Millisecond), len(final), dropped, len(srv.Reports()))
+	return nil
+}
+
+// runService hosts the multi-tenant control plane: jobs are created and
+// managed through the admin API, clients are routed by the job name in
+// their Hello, and a SIGTERM drains every job (checkpointing each) so
+// the next process generation re-adopts them from -state-dir.
+func runService(addr, stateDir, adminAddr string, drainTimeout time.Duration) error {
+	if stateDir == "" {
+		return errors.New("-service requires -state-dir")
+	}
+	svc, err := service.New(service.Options{
+		Addr:     addr,
+		StateDir: stateDir,
+		Builder:  dinar.JobBuilder(),
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if adminAddr == "" {
+		// The admin API is the only way to create jobs; service mode
+		// without it would be inert.
+		adminAddr = "127.0.0.1:0"
+	}
+	admin, err := svc.ServeAdmin(adminAddr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	fmt.Printf("dinar-server: service mode on %s (state dir %s)\n", svc.Addr(), stateDir)
+	fmt.Printf("dinar-server: admin API on http://%s (POST /jobs, /metrics, /healthz)\n", admin.Addr())
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	<-sigCh
+	fmt.Printf("dinar-server: signal received; draining all jobs (up to %s; signal again to abort)\n", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	go func() {
+		select {
+		case <-sigCh:
+			fmt.Println("dinar-server: second signal; aborting drain")
+			cancel()
+		case <-drainCtx.Done():
+		}
+	}()
+	err = svc.Shutdown(drainCtx)
+	admin.Close()
+	if err != nil && !errors.Is(err, dinar.ErrDraining) {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("dinar-server: all jobs drained and checkpointed; restart with the same -state-dir to resume")
 	return nil
 }

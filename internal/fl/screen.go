@@ -110,6 +110,7 @@ func (r *ScreenReport) RejectedIDs() []int {
 // concurrent use.
 type Screen struct {
 	cfg ScreenConfig
+	tel *Metrics
 
 	mu sync.Mutex
 	// norms is the ring of recently accepted delta norms.
@@ -125,9 +126,21 @@ type Screen struct {
 func NewScreen(cfg ScreenConfig) *Screen {
 	return &Screen{
 		cfg:          cfg.withDefaults(),
+		tel:          defaultMetrics,
 		offenses:     make(map[int]int),
 		blockedUntil: make(map[int]int),
 	}
+}
+
+// SetMetrics points the screen's verdict counters at m — per-job bundles
+// in service mode, see Server.SetMetrics. nil restores the default.
+func (s *Screen) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = defaultMetrics
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tel = m
 }
 
 // Quarantined reports whether clientID's updates are excluded at round.
@@ -253,10 +266,10 @@ func (s *Screen) Apply(round int, prevGlobal []float64, updates []*Update) ([]*U
 			kept = append(kept, su)
 		}
 	}
-	telScreenAccepted.Add(int64(len(report.Accepted)))
-	telScreenRejected.Add(int64(len(report.Rejected)))
-	telScreenClipped.Add(int64(len(report.Clipped)))
-	telScreenQuarantined.Add(int64(len(report.Quarantined)))
+	s.tel.ScreenAccepted.Add(int64(len(report.Accepted)))
+	s.tel.ScreenRejected.Add(int64(len(report.Rejected)))
+	s.tel.ScreenClipped.Add(int64(len(report.Clipped)))
+	s.tel.ScreenQuarantined.Add(int64(len(report.Quarantined)))
 	s.updateOccupancy(round)
 	return kept, report
 }
@@ -274,10 +287,10 @@ func (s *Screen) ApplyOne(report *ScreenReport, round int, prevGlobal []float64,
 	defer s.mu.Unlock()
 	before := [4]int{len(report.Accepted), len(report.Rejected), len(report.Clipped), len(report.Quarantined)}
 	su, ok := s.applyOne(report, round, prevGlobal, u)
-	telScreenAccepted.Add(int64(len(report.Accepted) - before[0]))
-	telScreenRejected.Add(int64(len(report.Rejected) - before[1]))
-	telScreenClipped.Add(int64(len(report.Clipped) - before[2]))
-	telScreenQuarantined.Add(int64(len(report.Quarantined) - before[3]))
+	s.tel.ScreenAccepted.Add(int64(len(report.Accepted) - before[0]))
+	s.tel.ScreenRejected.Add(int64(len(report.Rejected) - before[1]))
+	s.tel.ScreenClipped.Add(int64(len(report.Clipped) - before[2]))
+	s.tel.ScreenQuarantined.Add(int64(len(report.Quarantined) - before[3]))
 	s.updateOccupancy(round)
 	return su, ok
 }
@@ -313,7 +326,7 @@ func (s *Screen) updateOccupancy(round int) {
 			occupancy++
 		}
 	}
-	telQuarantineOccupancy.Set(int64(occupancy))
+	s.tel.QuarantineOccupancy.Set(int64(occupancy))
 }
 
 // validate returns a rejection reason, or "" for a structurally sound

@@ -13,6 +13,7 @@ type Server struct {
 	state []float64
 	def   Defense
 	meter *metrics.CostMeter
+	tel   *Metrics
 	round int
 
 	screen        *Screen
@@ -49,7 +50,18 @@ func NewServer(initial []float64, def Defense, meter *metrics.CostMeter) (*Serve
 		state: append([]float64(nil), initial...),
 		def:   def,
 		meter: meter,
+		tel:   defaultMetrics,
 	}, nil
+}
+
+// SetMetrics points the server's instruments at m — service mode gives
+// each federation job its own bundle so concurrent jobs never merge
+// counters. nil restores the process-wide default bundle.
+func (s *Server) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = defaultMetrics
+	}
+	s.tel = m
 }
 
 // GlobalState returns a copy of the current global model state.
@@ -106,13 +118,13 @@ func (s *Server) Aggregate(updates []*Update) error {
 	for _, u := range updates {
 		payloadBytes += 8 * len(u.State)
 	}
-	telAggUpdateBytesPeak.SetMax(int64(payloadBytes))
+	s.tel.AggUpdateBytesPeak.SetMax(int64(payloadBytes))
 	s.lastTiming = AggTiming{}
 	if s.screen != nil {
 		screenStart := time.Now()
 		kept, report := s.screen.Apply(s.round, s.state, updates)
 		s.lastTiming.Screen = time.Since(screenStart)
-		telScreenSeconds.Observe(s.lastTiming.Screen.Seconds())
+		s.tel.ScreenSeconds.Observe(s.lastTiming.Screen.Seconds())
 		s.screenReports = append(s.screenReports, report)
 		if len(kept) == 0 {
 			return fmt.Errorf("fl: round %d: no updates survived screening (%d rejected, %d quarantined)",
@@ -136,8 +148,8 @@ func (s *Server) Aggregate(updates []*Update) error {
 		return fmt.Errorf("fl: defense %q returned %d values, want %d", s.def.Name(), len(next), len(s.state))
 	}
 	s.lastTiming.Aggregate = time.Since(start)
-	telAggregateSeconds.Observe(s.lastTiming.Aggregate.Seconds())
-	telRoundsAggregated.Inc()
+	s.tel.AggregateSeconds.Observe(s.lastTiming.Aggregate.Seconds())
+	s.tel.RoundsAggregated.Inc()
 	if s.meter != nil {
 		s.meter.AddServerAgg(s.lastTiming.Aggregate)
 		s.meter.SamplePhase(metrics.PhaseAggregate)
@@ -243,7 +255,7 @@ func (s *Server) Offer(u *Update) (OfferVerdict, error) {
 	if mb, ok := s.streamAgg.(interface{ MemoryBytes() int }); ok {
 		peak += mb.MemoryBytes()
 	}
-	telAggUpdateBytesPeak.SetMax(int64(peak))
+	s.tel.AggUpdateBytesPeak.SetMax(int64(peak))
 	start := time.Now()
 	err := s.streamAgg.Fold(su)
 	s.streamFoldDur += time.Since(start)
@@ -267,7 +279,7 @@ func (s *Server) FinishRound() error {
 	s.streaming = false
 	s.lastTiming = AggTiming{Screen: s.streamScreenDur}
 	if s.screen != nil {
-		telScreenSeconds.Observe(s.streamScreenDur.Seconds())
+		s.tel.ScreenSeconds.Observe(s.streamScreenDur.Seconds())
 		s.screenReports = append(s.screenReports, s.streamReport)
 	}
 	if s.streamCount == 0 {
@@ -286,8 +298,8 @@ func (s *Server) FinishRound() error {
 		return fmt.Errorf("fl: defense %q returned %d values, want %d", s.def.Name(), len(next), len(s.state))
 	}
 	s.lastTiming.Aggregate = s.streamFoldDur + time.Since(start)
-	telAggregateSeconds.Observe(s.lastTiming.Aggregate.Seconds())
-	telRoundsAggregated.Inc()
+	s.tel.AggregateSeconds.Observe(s.lastTiming.Aggregate.Seconds())
+	s.tel.RoundsAggregated.Inc()
 	if s.meter != nil {
 		s.meter.AddServerAgg(s.lastTiming.Aggregate)
 		s.meter.SamplePhase(metrics.PhaseAggregate)

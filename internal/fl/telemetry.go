@@ -4,34 +4,70 @@ import (
 	"repro/internal/telemetry"
 )
 
-// FL-core telemetry: client train durations, screen verdicts, quarantine
-// occupancy, and the server's screen/aggregate phase timings. All
-// instruments live in the process-wide default registry and are served by
-// the dinar-server admin listener's /metrics endpoint.
-var (
-	telClientTrainSeconds = telemetry.NewHistogram("dinar_fl_client_train_seconds",
-		"one client's local-training duration for one round", nil)
-	telScreenSeconds = telemetry.NewHistogram("dinar_fl_screen_seconds",
-		"per-round update-screen duration on the server", nil)
-	telAggregateSeconds = telemetry.NewHistogram("dinar_fl_aggregate_seconds",
-		"per-round defense-aggregation duration on the server", nil)
-	telRoundsAggregated = telemetry.NewCounter("dinar_fl_rounds_aggregated_total",
-		"rounds the FL core aggregated successfully")
-	telScreenAccepted = telemetry.NewCounter("dinar_fl_screen_accepted_total",
-		"updates that passed the Byzantine screen (clipped ones included)")
-	telScreenRejected = telemetry.NewCounter("dinar_fl_screen_rejected_total",
-		"updates the Byzantine screen rejected")
-	telScreenClipped = telemetry.NewCounter("dinar_fl_screen_clipped_total",
-		"updates whose deltas the screen norm-clipped")
-	telScreenQuarantined = telemetry.NewCounter("dinar_fl_screen_quarantined_total",
-		"updates dropped because the sender was serving a quarantine penalty")
-	telQuarantineOccupancy = telemetry.NewGauge("dinar_fl_quarantine_occupancy",
-		"clients currently serving a quarantine penalty")
-	telAggUpdateBytesPeak = telemetry.NewGauge("dinar_fl_agg_update_bytes_peak",
-		"peak bytes of client update payloads (plus any streaming accumulator) resident in the aggregation path; the materialized path holds the whole cohort, the streaming path one update")
-)
+// Metrics bundles the FL-core server-side instruments: screen verdicts,
+// quarantine occupancy, and screen/aggregate phase timings. Each
+// federation registers one bundle into its own telemetry registry so two
+// servers in one process (service mode) never merge their counters — the
+// process-global defaultMetrics bundle serves single-federation binaries
+// and every Server/Screen that was not given an explicit bundle.
+type Metrics struct {
+	ScreenSeconds       *telemetry.Histogram
+	AggregateSeconds    *telemetry.Histogram
+	RoundsAggregated    *telemetry.Counter
+	ScreenAccepted      *telemetry.Counter
+	ScreenRejected      *telemetry.Counter
+	ScreenClipped       *telemetry.Counter
+	ScreenQuarantined   *telemetry.Counter
+	QuarantineOccupancy *telemetry.Gauge
+	AggUpdateBytesPeak  *telemetry.Gauge
+}
 
-// ResetAggPeakBytes zeroes the aggregation peak-memory gauge. The gauge is
-// monotone within a federation (SetMax); scale tests comparing runs of
-// different cohort sizes reset it between runs.
-func ResetAggPeakBytes() { telAggUpdateBytesPeak.Set(0) }
+// NewMetrics registers (or, when a resumed job reuses its registry,
+// re-looks-up) the FL-core instrument bundle in r. nil r means the
+// process-wide default bundle.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return defaultMetrics
+	}
+	return newMetricsIn(r)
+}
+
+func newMetricsIn(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		ScreenSeconds: r.Histogram("dinar_fl_screen_seconds",
+			"per-round update-screen duration on the server", nil),
+		AggregateSeconds: r.Histogram("dinar_fl_aggregate_seconds",
+			"per-round defense-aggregation duration on the server", nil),
+		RoundsAggregated: r.Counter("dinar_fl_rounds_aggregated_total",
+			"rounds the FL core aggregated successfully"),
+		ScreenAccepted: r.Counter("dinar_fl_screen_accepted_total",
+			"updates that passed the Byzantine screen (clipped ones included)"),
+		ScreenRejected: r.Counter("dinar_fl_screen_rejected_total",
+			"updates the Byzantine screen rejected"),
+		ScreenClipped: r.Counter("dinar_fl_screen_clipped_total",
+			"updates whose deltas the screen norm-clipped"),
+		ScreenQuarantined: r.Counter("dinar_fl_screen_quarantined_total",
+			"updates dropped because the sender was serving a quarantine penalty"),
+		QuarantineOccupancy: r.Gauge("dinar_fl_quarantine_occupancy",
+			"clients currently serving a quarantine penalty"),
+		AggUpdateBytesPeak: r.Gauge("dinar_fl_agg_update_bytes_peak",
+			"peak bytes of client update payloads (plus any streaming accumulator) resident in the aggregation path; the materialized path holds the whole cohort, the streaming path one update"),
+	}
+}
+
+// defaultMetrics is the process-wide bundle in telemetry.Default(), the
+// home of every instrument before service mode introduced per-job
+// registries. NewMetrics(nil) returns it, so existing single-federation
+// call paths keep their metric names and accumulation behavior.
+var defaultMetrics = newMetricsIn(telemetry.Default())
+
+// telClientTrainSeconds stays process-global: it is recorded on the
+// client side of the wire, where there is no job-scoped registry (a
+// client process trains for exactly one federation).
+var telClientTrainSeconds = telemetry.NewHistogram("dinar_fl_client_train_seconds",
+	"one client's local-training duration for one round", nil)
+
+// ResetAggPeakBytes zeroes the default bundle's aggregation peak-memory
+// gauge. The gauge is monotone within a federation (SetMax); scale tests
+// comparing runs of different cohort sizes reset it between runs.
+func ResetAggPeakBytes() { defaultMetrics.AggUpdateBytesPeak.Set(0) }

@@ -105,6 +105,10 @@ type Fleet struct {
 	// flnet.ProtocolVersion) — negotiation tests use it to present an old
 	// peer to a new server.
 	Version int
+	// Job names the federation job each Hello asks for — the service-mode
+	// front door routes the connection by it. Empty targets a
+	// single-federation server directly.
+	Job string
 }
 
 // anchors tracks the broadcasts a simulated client holds, mirroring the
@@ -278,6 +282,7 @@ func (f *Fleet) session(ctx context.Context, id int, conn net.Conn, lastRound *i
 		Version:   version,
 		LastRound: *lastRound,
 		WireCaps:  f.Caps,
+		Job:       f.Job,
 	})
 	if err != nil {
 		return err

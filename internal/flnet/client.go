@@ -46,6 +46,10 @@ type ClientConfig struct {
 	// speaks whatever the server negotiates; "gob" advertises nothing and
 	// pins the legacy gob framing.
 	Wire string
+	// Job names the federation job to join on a multi-job service-mode
+	// server; it rides every Hello so reconnects route back to the same
+	// job. Empty is fine against a single-federation server.
+	Job string
 }
 
 // defaultMaxBackoff caps the exponential backoff between reconnects.
@@ -271,6 +275,7 @@ func runSession(ctx context.Context, cfg ClientConfig, lastCompleted *int, ancho
 		ClientID:  cfg.Trainer.ID,
 		Version:   ProtocolVersion,
 		LastRound: *lastCompleted,
+		Job:       cfg.Job,
 	}
 	if cfg.Wire != "gob" {
 		hello.WireCaps = ClientCaps

@@ -111,6 +111,15 @@ type ServerConfig struct {
 	// every aggregated round; if the file already exists at startup the
 	// federation resumes from the snapshot's round instead of round 0.
 	CheckpointPath string
+	// Pipeline overlaps each round's checkpoint encode+fsync (the round
+	// "tail") with the next round's broadcast and collection instead of
+	// blocking the round loop on it. The snapshot is deep-copied at the
+	// same sequential point the blocking save would run, so the persisted
+	// chain — and the federation's arithmetic — is bit-identical to the
+	// sequential mode; only the wall-clock overlap changes. The round
+	// loop stalls only when a round finishes before the previous write
+	// does (PipelineStallSeconds measures that).
+	Pipeline bool
 	// Dataset tags checkpoints; resuming from a snapshot recorded for a
 	// different dataset is an error. Optional.
 	Dataset string
@@ -126,6 +135,12 @@ type ServerConfig struct {
 	Listener net.Listener
 	// Meter records aggregation costs (optional).
 	Meter *metrics.CostMeter
+	// Registry is the telemetry registry the server's instruments (and
+	// its fl core's) register into. nil means the process-wide default
+	// registry — fine for single-federation binaries, but two servers in
+	// one process would merge their counters indistinguishably, so
+	// service mode gives every job its own labeled registry.
+	Registry *telemetry.Registry
 	// Logf receives progress lines (optional). Every call site is routed
 	// through one serialized event log, so Logf is never invoked
 	// concurrently and always receives one whole line per call — the
@@ -229,6 +244,7 @@ type Server struct {
 	core       *fl.Server
 	screen     *fl.Screen
 	startRound int
+	tel        *Metrics
 
 	// events serializes every log line and retains recent structured
 	// events; all former cfg.Logf call sites route through it.
@@ -250,6 +266,12 @@ type Server struct {
 	// the round loop; runDone unblocks the acceptor when Run returns.
 	joinCh  chan *session
 	runDone chan struct{}
+
+	// ckptPending is the in-flight background checkpoint write in
+	// pipelined mode (nil when none). Owned by the round-loop goroutine:
+	// submitted after each aggregate, joined before the next submit, in
+	// drainExit, and before Run returns.
+	ckptPending *ckptPending
 
 	// Drain state machine: drainCh closes when Shutdown begins (the round
 	// loop exits at the next round boundary); drainKill closes when the
@@ -392,9 +414,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	events := telemetry.NewEventLog(cfg.EventCapacity, sink)
 
+	// One instrument bundle per registry: single-federation binaries keep
+	// the process-wide default; service-mode jobs each bring their own
+	// labeled registry so concurrent federations never merge counters.
+	tel := NewMetrics(cfg.Registry)
+	flTel := fl.NewMetrics(cfg.Registry)
+
 	var screen *fl.Screen
 	if !cfg.NoScreen {
 		screen = fl.NewScreen(cfg.Screen)
+		screen.SetMetrics(flTel)
 	}
 
 	state := cfg.InitialState
@@ -486,6 +515,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	core.SetMetrics(flTel)
 	core.SetRound(startRound)
 	if screen != nil {
 		core.SetScreen(screen)
@@ -495,7 +525,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Streaming {
 		streamAgg = fl.StreamingOf(cfg.Defense)
 		if streamAgg == nil {
-			telStreamingFallback.Inc()
+			tel.StreamingFallback.Inc()
 			events.Eventf(-1, -1, "flnet: defense %q has no streaming aggregation rule; falling back to materialized aggregation",
 				cfg.Defense.Name())
 		} else if nc, ok := streamAgg.(fl.NormCarrier); ok && len(streamNorms) > 0 {
@@ -519,6 +549,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		core:        core,
 		screen:      screen,
 		startRound:  startRound,
+		tel:         tel,
 		events:      events,
 		live:        make(map[int]*session, cfg.NumClients),
 		curRound:    startRound,
@@ -723,6 +754,10 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		close(quit)  // abort in-flight registrations
 		<-rejoinDone
 	}()
+	// Backstop for error exits: never leave a background checkpoint write
+	// running past Run (the success and drain paths join explicitly and
+	// surface the write's error; this re-join is then a no-op).
+	defer s.joinCheckpoint() //nolint:errcheck // error surfaced on non-backstop paths
 
 	for round := s.startRound; round < s.cfg.Rounds; round++ {
 		if s.draining() {
@@ -732,7 +767,7 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		s.curRound = round
 		s.status = "running"
 		s.mu.Unlock()
-		telRoundsStarted.Inc()
+		s.tel.RoundsStarted.Inc()
 		streaming := s.streamAgg != nil
 		if streaming {
 			if err := s.core.BeginRound(s.streamAgg); err != nil {
@@ -797,9 +832,18 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 		if aggErr != nil {
 			return nil, aggErr
 		}
-		telRoundsCompleted.Inc()
+		s.tel.RoundsCompleted.Inc()
 		if s.cfg.CheckpointPath != "" {
-			if err := s.saveCheckpoint(); err != nil {
+			if s.cfg.Pipeline {
+				// Join the previous round's background write (its error
+				// surfaces here, one round late), then hand this round's
+				// snapshot to the writer and move straight on to the next
+				// round's broadcast.
+				if err := s.joinCheckpoint(); err != nil {
+					return nil, fmt.Errorf("flnet: round %d: checkpoint: %w", round, err)
+				}
+				s.submitCheckpoint()
+			} else if err := s.saveCheckpoint(); err != nil {
 				return nil, fmt.Errorf("flnet: round %d: %w", round, err)
 			}
 		}
@@ -807,6 +851,11 @@ func (s *Server) Run(ctx context.Context) ([]float64, error) {
 			round, len(report.Participants), len(report.Dropped),
 			report.Timing.Broadcast.Round(time.Microsecond), report.Timing.Wait.Round(time.Microsecond),
 			report.Timing.Screen.Round(time.Microsecond), report.Timing.Aggregate.Round(time.Microsecond))
+	}
+	// The final round's pipelined write must land before Run reports
+	// success — callers restart from this checkpoint.
+	if err := s.joinCheckpoint(); err != nil {
+		return nil, fmt.Errorf("flnet: final checkpoint: %w", err)
 	}
 	s.mu.Lock()
 	s.curRound = s.cfg.Rounds
@@ -844,12 +893,22 @@ func (s *Server) closeLive() {
 		sess.conn.Close()
 		delete(s.live, id)
 	}
-	telLiveClients.Set(0)
+	s.tel.LiveClients.Set(0)
 }
 
 // saveCheckpoint persists the current global state and screen reputation as
-// a new checkpoint generation.
+// a new checkpoint generation, blocking until the write is durable.
 func (s *Server) saveCheckpoint() error {
+	return s.writeSnapshot(s.buildSnapshot())
+}
+
+// buildSnapshot deep-copies the federation's persistent state into a
+// checkpoint snapshot. Every buffer the snapshot references is owned by
+// the snapshot alone — the async-buffer update states in particular are
+// copied, because the round loop recycles those buffers (PutState) when
+// a buffered update folds into a later round, and pipelined mode encodes
+// the snapshot concurrently with that loop.
+func (s *Server) buildSnapshot() *checkpoint.Snapshot {
 	snap := &checkpoint.Snapshot{
 		Dataset: s.cfg.Dataset,
 		Round:   s.core.Round(),
@@ -875,7 +934,7 @@ func (s *Server) saveCheckpoint() error {
 			ClientID:   u.ClientID,
 			Round:      u.Round,
 			NumSamples: u.NumSamples,
-			State:      u.State,
+			State:      append([]float64(nil), u.State...),
 		})
 	}
 	if nc, ok := s.streamAgg.(fl.NormCarrier); ok {
@@ -900,13 +959,72 @@ func (s *Server) saveCheckpoint() error {
 		}
 		snap.Wire = ws
 	}
+	return snap
+}
+
+// writeSnapshot persists snap as a new checkpoint generation and advances
+// the checkpointed-round watermark. Safe to call off the round loop: it
+// touches only the snapshot and mu-guarded fields.
+func (s *Server) writeSnapshot(snap *checkpoint.Snapshot) error {
+	start := time.Now()
 	if err := checkpoint.SaveFile(s.cfg.CheckpointPath, snap); err != nil {
 		return err
 	}
+	s.tel.RoundTailSeconds.Observe(time.Since(start).Seconds())
 	s.mu.Lock()
-	s.ckptRound = s.core.Round()
+	if snap.Round > s.ckptRound {
+		s.ckptRound = snap.Round
+	}
 	s.mu.Unlock()
 	return nil
+}
+
+// ckptPending is one in-flight background checkpoint write.
+type ckptPending struct {
+	done     chan struct{}
+	err      error
+	writeDur time.Duration
+}
+
+// submitCheckpoint starts a background write of the current state's
+// snapshot. The snapshot is built synchronously — at the exact point the
+// blocking save would have run, so the persisted chain is bit-identical
+// to sequential mode — and only the encode+fsync overlaps the next
+// round. At most one write is in flight: callers join the previous one
+// first (Run's round loop, drainExit).
+func (s *Server) submitCheckpoint() {
+	snap := s.buildSnapshot()
+	p := &ckptPending{done: make(chan struct{})}
+	s.ckptPending = p
+	go func() {
+		start := time.Now()
+		p.err = s.writeSnapshot(snap)
+		p.writeDur = time.Since(start)
+		close(p.done)
+	}()
+}
+
+// joinCheckpoint blocks until the in-flight background checkpoint write
+// (if any) completes, records the pipeline's stall/overlap histograms,
+// and returns the write's error. The overlap — how much of the write ran
+// while the round loop was doing useful work — is the write duration
+// minus the time this join spent blocked.
+func (s *Server) joinCheckpoint() error {
+	p := s.ckptPending
+	if p == nil {
+		return nil
+	}
+	s.ckptPending = nil
+	stallStart := time.Now()
+	<-p.done
+	stall := time.Since(stallStart)
+	overlap := p.writeDur - stall
+	if overlap < 0 {
+		overlap = 0
+	}
+	s.tel.PipelineStallSeconds.Observe(stall.Seconds())
+	s.tel.PipelineOverlapSeconds.Observe(overlap.Seconds())
+	return p.err
 }
 
 // drainExit finishes a graceful drain: the final checkpoint is written (a
@@ -933,7 +1051,13 @@ func (s *Server) drainExit(round int) ([]float64, error) {
 				break sweep
 			}
 		}
-		telAsyncBuffered.Set(int64(len(s.asyncBuf)))
+		s.tel.AsyncBuffered.Set(int64(len(s.asyncBuf)))
+	}
+	// A pipelined write may still be in flight; land it before deciding
+	// whether a final save is needed (it usually already covers the last
+	// completed round).
+	if err := s.joinCheckpoint(); err != nil {
+		errs = append(errs, err)
 	}
 	if s.cfg.CheckpointPath != "" {
 		s.mu.Lock()
@@ -958,7 +1082,7 @@ func (s *Server) drainExit(round int) ([]float64, error) {
 		// Best effort: the client's read will fail when the conn closes
 		// anyway; the drain frame just turns that into a polite back-off.
 		_ = s.send(sess, &Message{Kind: KindDrain, RetryAfterMs: retryAfter})
-		telDrainNotices.Inc()
+		s.tel.DrainNotices.Inc()
 	}
 	s.logf(round, -1, "flnet: drained before round %d (%d clients notified, checkpoint at round %d)",
 		round, len(sessions), s.ckptRound)
@@ -1028,7 +1152,7 @@ func (s *Server) register(conn net.Conn) (*session, error) {
 		s.rejects++
 		tooMany := s.rejects > s.cfg.MaxRejects
 		s.mu.Unlock()
-		telRegistrationsRejected.Inc()
+		s.tel.RegistrationsRejected.Inc()
 		s.logf(-1, -1, "flnet: rejected registrant from %v: %s", conn.RemoteAddr(), reason)
 		if tooMany {
 			return fmt.Errorf("%w (%d)", errTooManyRejects, s.cfg.MaxRejects)
@@ -1084,7 +1208,7 @@ func (s *Server) register(conn net.Conn) (*session, error) {
 		s.rejects++
 		tooMany := s.rejects > s.cfg.MaxRejects
 		s.mu.Unlock()
-		telRegistrationsRejected.Inc()
+		s.tel.RegistrationsRejected.Inc()
 		s.logf(-1, msg.ClientID, "flnet: rejected registrant from %v: duplicate client id %d", conn.RemoteAddr(), msg.ClientID)
 		if tooMany {
 			return nil, fmt.Errorf("%w (%d)", errTooManyRejects, s.cfg.MaxRejects)
@@ -1092,7 +1216,7 @@ func (s *Server) register(conn net.Conn) (*session, error) {
 		return nil, fmt.Errorf("flnet: rejected registrant: duplicate client id %d", msg.ClientID)
 	}
 	s.live[msg.ClientID] = sess
-	telLiveClients.Set(int64(len(s.live)))
+	s.tel.LiveClients.Set(int64(len(s.live)))
 	s.mu.Unlock()
 	return sess, nil
 }
@@ -1130,7 +1254,7 @@ func (s *Server) acceptRejoins(ctx context.Context, quit <-chan struct{}) {
 		if !s.admit.allow(time.Now()) {
 			s.sendDrain(conn)
 			conn.Close()
-			telAdmissionShed.Inc()
+			s.tel.AdmissionShed.Inc()
 			continue
 		}
 		select {
@@ -1140,7 +1264,7 @@ func (s *Server) acceptRejoins(ctx context.Context, quit <-chan struct{}) {
 			// registrants); shed instead of queueing behind them.
 			s.sendDrain(conn)
 			conn.Close()
-			telAdmissionShed.Inc()
+			s.tel.AdmissionShed.Inc()
 			continue
 		}
 		wg.Add(1)
@@ -1163,7 +1287,7 @@ func (s *Server) acceptRejoins(ctx context.Context, quit <-chan struct{}) {
 			if err != nil {
 				return
 			}
-			telRejoins.Inc()
+			s.tel.Rejoins.Inc()
 			s.logf(-1, sess.clientID, "flnet: client %d rejoined (last completed round %d)", sess.clientID, sess.lastRound)
 			select {
 			case s.joinCh <- sess:
@@ -1181,7 +1305,7 @@ func (s *Server) sendDrain(conn net.Conn) {
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
 	// Best effort: the connection is being turned away either way.
 	_ = WriteMessage(conn, &Message{Kind: KindDrain, RetryAfterMs: int(s.cfg.DrainRetryAfter / time.Millisecond)})
-	telDrainNotices.Inc()
+	s.tel.DrainNotices.Inc()
 }
 
 // result is one finished exchange.
@@ -1240,7 +1364,7 @@ func (s *Server) sampleCohort(round int, exclude map[int]bool) (cohort, queue []
 	for _, id := range order[k:] {
 		queue = append(queue, liveSessions[id])
 	}
-	telSampledCohort.Set(int64(len(cohort)))
+	s.tel.SampledCohort.Set(int64(len(cohort)))
 	return cohort, queue, cohortIDs
 }
 
@@ -1311,11 +1435,11 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 		s.mu.Lock()
 		if s.live[sess.clientID] == sess {
 			delete(s.live, sess.clientID)
-			telLiveClients.Set(int64(len(s.live)))
+			s.tel.LiveClients.Set(int64(len(s.live)))
 		}
 		s.mu.Unlock()
 		sess.conn.Close()
-		telClientsEvicted.Inc()
+		s.tel.ClientsEvicted.Inc()
 		report.Dropped = append(report.Dropped, sess.clientID)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("client %d: %w", sess.clientID, err))
@@ -1331,7 +1455,7 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 		next := queue[0]
 		queue = queue[1:]
 		report.Sampled = append(report.Sampled, next.clientID)
-		telSampleReplacements.Inc()
+		s.tel.SampleReplacements.Inc()
 		launch(next)
 		return true
 	}
@@ -1379,15 +1503,15 @@ func (s *Server) runRound(ctx context.Context, round int) ([]*fl.Update, RoundRe
 					}
 				}
 				if !done {
-					telStragglersEvicted.Inc()
+					s.tel.StragglersEvicted.Inc()
 					evict(sess, fmt.Errorf("no update within round deadline %s", s.cfg.RoundDeadline))
 				}
 			}
 			reap(pending)
 		}
 		report.Timing.Wait = time.Since(roundStart)
-		telRoundBroadcastSeconds.Observe(report.Timing.Broadcast.Seconds())
-		telRoundWaitSeconds.Observe(report.Timing.Wait.Seconds())
+		s.tel.RoundBroadcastSeconds.Observe(report.Timing.Broadcast.Seconds())
+		s.tel.RoundWaitSeconds.Observe(report.Timing.Wait.Seconds())
 		report.Err = errors.Join(errs...)
 		return updates, report, nil
 	}
@@ -1508,11 +1632,11 @@ func (s *Server) runRoundAsync(ctx context.Context, round int) ([]*fl.Update, Ro
 		s.mu.Lock()
 		if s.live[sess.clientID] == sess {
 			delete(s.live, sess.clientID)
-			telLiveClients.Set(int64(len(s.live)))
+			s.tel.LiveClients.Set(int64(len(s.live)))
 		}
 		s.mu.Unlock()
 		sess.conn.Close()
-		telClientsEvicted.Inc()
+		s.tel.ClientsEvicted.Inc()
 		report.Dropped = append(report.Dropped, sess.clientID)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("client %d: %w", sess.clientID, err))
@@ -1526,7 +1650,7 @@ func (s *Server) runRoundAsync(ctx context.Context, round int) ([]*fl.Update, Ro
 		if staleness > s.cfg.AsyncStaleness {
 			PutState(u.State)
 			u.State = nil
-			telAsyncStaleDropped.Inc()
+			s.tel.AsyncStaleDropped.Inc()
 			s.logf(round, u.ClientID, "flnet: round %d: dropped update from client %d: %d rounds stale (max %d)",
 				round, u.ClientID, staleness, s.cfg.AsyncStaleness)
 			return
@@ -1549,7 +1673,7 @@ func (s *Server) runRoundAsync(ctx context.Context, round int) ([]*fl.Update, Ro
 		report.Participants = append(report.Participants, u.ClientID)
 		if staleness > 0 {
 			report.Stale++
-			telAsyncStaleAccepted.Inc()
+			s.tel.AsyncStaleAccepted.Inc()
 		}
 	}
 
@@ -1620,7 +1744,7 @@ sweep:
 		next := queue[0]
 		queue = queue[1:]
 		report.Sampled = append(report.Sampled, next.clientID)
-		telSampleReplacements.Inc()
+		s.tel.SampleReplacements.Inc()
 		launch(next)
 		return true
 	}
@@ -1644,9 +1768,9 @@ sweep:
 
 	finish := func() ([]*fl.Update, RoundReport, error) {
 		report.Timing.Wait = time.Since(roundStart)
-		telRoundBroadcastSeconds.Observe(report.Timing.Broadcast.Seconds())
-		telRoundWaitSeconds.Observe(report.Timing.Wait.Seconds())
-		telAsyncBuffered.Set(int64(len(s.asyncBuf)))
+		s.tel.RoundBroadcastSeconds.Observe(report.Timing.Broadcast.Seconds())
+		s.tel.RoundWaitSeconds.Observe(report.Timing.Wait.Seconds())
+		s.tel.AsyncBuffered.Set(int64(len(s.asyncBuf)))
 		report.Err = errors.Join(errs...)
 		return updates, report, nil
 	}
@@ -1740,12 +1864,12 @@ func (s *Server) applyScreenOutcome(round int, report *RoundReport) {
 		sess := s.live[v.ClientID]
 		if sess != nil {
 			delete(s.live, v.ClientID)
-			telLiveClients.Set(int64(len(s.live)))
+			s.tel.LiveClients.Set(int64(len(s.live)))
 		}
 		s.mu.Unlock()
 		if sess != nil {
 			sess.conn.Close()
-			telClientsEvicted.Inc()
+			s.tel.ClientsEvicted.Inc()
 			report.Dropped = append(report.Dropped, v.ClientID)
 			s.logf(round, v.ClientID, "flnet: round %d: evicted client %d: %s", round, v.ClientID, v.Reason)
 		}

@@ -4,49 +4,113 @@ import (
 	"repro/internal/telemetry"
 )
 
-// Network-layer telemetry: round lifecycle counters, per-phase round
-// timing, and registration/rejoin accounting. The wire byte/frame
-// counters live in wire.go next to the codec.
-var (
-	telRoundsStarted = telemetry.NewCounter("dinar_flnet_rounds_started_total",
-		"FL rounds the server began orchestrating")
-	telRoundsCompleted = telemetry.NewCounter("dinar_flnet_rounds_completed_total",
-		"FL rounds that aggregated successfully")
-	telStragglersEvicted = telemetry.NewCounter("dinar_flnet_stragglers_evicted_total",
-		"clients evicted for missing the round deadline")
-	telClientsEvicted = telemetry.NewCounter("dinar_flnet_clients_evicted_total",
-		"clients evicted for any reason (stragglers, dead connections, screen rejections)")
-	telRejoins = telemetry.NewCounter("dinar_flnet_rejoins_total",
-		"clients re-registered after the initial cohort formed")
-	telRegistrationsRejected = telemetry.NewCounter("dinar_flnet_registrations_rejected_total",
-		"registration attempts rejected (malformed hello, version mismatch, duplicate id)")
-	telLiveClients = telemetry.NewGauge("dinar_flnet_live_clients",
-		"currently registered client sessions")
-	telClientReconnects = telemetry.NewCounter("dinar_flnet_client_reconnects_total",
-		"reconnection attempts made by flnet clients in this process")
-	telDrainNotices = telemetry.NewCounter("dinar_flnet_drain_notices_total",
-		"drain frames sent to clients (shutdown broadcast, draining registrants)")
-	telAdmissionShed = telemetry.NewCounter("dinar_flnet_admission_shed_total",
-		"registration attempts shed by accept-path admission control (token bucket or in-flight cap)")
-	telClientDrainWaits = telemetry.NewCounter("dinar_flnet_client_drain_waits_total",
-		"drain back-off waits performed by flnet clients in this process")
+// Metrics bundles the network-layer server instruments: round lifecycle
+// counters, per-phase round timing, registration/rejoin accounting, and
+// the pipelined-checkpoint overlap histograms. Each federation registers
+// one bundle into its own registry — service mode labels each job's
+// registry with job="name" — so two servers in one process never merge
+// counters. The wire byte/frame counters (wire.go) and the client-side
+// counters below stay process-global: they are per-process I/O totals,
+// not per-federation state.
+type Metrics struct {
+	RoundsStarted         *telemetry.Counter
+	RoundsCompleted       *telemetry.Counter
+	StragglersEvicted     *telemetry.Counter
+	ClientsEvicted        *telemetry.Counter
+	Rejoins               *telemetry.Counter
+	RegistrationsRejected *telemetry.Counter
+	LiveClients           *telemetry.Gauge
+	DrainNotices          *telemetry.Counter
+	AdmissionShed         *telemetry.Counter
 
-	telRoundBroadcastSeconds = telemetry.NewHistogram("dinar_flnet_round_broadcast_seconds",
-		"slowest global-state send of the round (the broadcast critical path)", nil)
-	telRoundWaitSeconds = telemetry.NewHistogram("dinar_flnet_round_wait_seconds",
-		"round start to quorum decision (training + collection wall time)", nil)
+	RoundBroadcastSeconds *telemetry.Histogram
+	RoundWaitSeconds      *telemetry.Histogram
 
 	// Sampling, streaming, and async-mode instruments.
-	telSampledCohort = telemetry.NewGauge("dinar_flnet_sampled_cohort",
-		"clients sampled into the current round's cohort")
-	telSampleReplacements = telemetry.NewCounter("dinar_flnet_sample_replacements_total",
-		"replacement clients drawn after a sampled cohort member failed or straggled")
-	telStreamingFallback = telemetry.NewCounter("dinar_flnet_streaming_fallback_total",
-		"servers that requested streaming aggregation but fell back to materialized (non-streaming defense rule)")
-	telAsyncStaleAccepted = telemetry.NewCounter("dinar_flnet_async_stale_accepted_total",
-		"staleness-weighted updates from earlier rounds folded into a later round")
-	telAsyncStaleDropped = telemetry.NewCounter("dinar_flnet_async_stale_dropped_total",
-		"buffered updates dropped for exceeding the async staleness bound")
-	telAsyncBuffered = telemetry.NewGauge("dinar_flnet_async_buffered",
-		"late updates currently buffered for a future round's staleness-weighted fold")
+	SampledCohort      *telemetry.Gauge
+	SampleReplacements *telemetry.Counter
+	StreamingFallback  *telemetry.Counter
+	AsyncStaleAccepted *telemetry.Counter
+	AsyncStaleDropped  *telemetry.Counter
+	AsyncBuffered      *telemetry.Gauge
+
+	// Round-pipelining instruments: the tail is the per-round work that
+	// does not need the next round's cohort (checkpoint encode + fsync);
+	// pipelined mode overlaps it with the next round's broadcast/collect
+	// and these histograms prove the overlap wins.
+	RoundTailSeconds       *telemetry.Histogram
+	PipelineOverlapSeconds *telemetry.Histogram
+	PipelineStallSeconds   *telemetry.Histogram
+}
+
+// NewMetrics registers (or, when a resumed job reuses its registry,
+// re-looks-up) the network-layer instrument bundle in r. nil r means the
+// process-wide default bundle.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return defaultMetrics
+	}
+	return newMetricsIn(r)
+}
+
+func newMetricsIn(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		RoundsStarted: r.Counter("dinar_flnet_rounds_started_total",
+			"FL rounds the server began orchestrating"),
+		RoundsCompleted: r.Counter("dinar_flnet_rounds_completed_total",
+			"FL rounds that aggregated successfully"),
+		StragglersEvicted: r.Counter("dinar_flnet_stragglers_evicted_total",
+			"clients evicted for missing the round deadline"),
+		ClientsEvicted: r.Counter("dinar_flnet_clients_evicted_total",
+			"clients evicted for any reason (stragglers, dead connections, screen rejections)"),
+		Rejoins: r.Counter("dinar_flnet_rejoins_total",
+			"clients re-registered after the initial cohort formed"),
+		RegistrationsRejected: r.Counter("dinar_flnet_registrations_rejected_total",
+			"registration attempts rejected (malformed hello, version mismatch, duplicate id)"),
+		LiveClients: r.Gauge("dinar_flnet_live_clients",
+			"currently registered client sessions"),
+		DrainNotices: r.Counter("dinar_flnet_drain_notices_total",
+			"drain frames sent to clients (shutdown broadcast, draining registrants)"),
+		AdmissionShed: r.Counter("dinar_flnet_admission_shed_total",
+			"registration attempts shed by accept-path admission control (token bucket or in-flight cap)"),
+
+		RoundBroadcastSeconds: r.Histogram("dinar_flnet_round_broadcast_seconds",
+			"slowest global-state send of the round (the broadcast critical path)", nil),
+		RoundWaitSeconds: r.Histogram("dinar_flnet_round_wait_seconds",
+			"round start to quorum decision (training + collection wall time)", nil),
+
+		SampledCohort: r.Gauge("dinar_flnet_sampled_cohort",
+			"clients sampled into the current round's cohort"),
+		SampleReplacements: r.Counter("dinar_flnet_sample_replacements_total",
+			"replacement clients drawn after a sampled cohort member failed or straggled"),
+		StreamingFallback: r.Counter("dinar_flnet_streaming_fallback_total",
+			"servers that requested streaming aggregation but fell back to materialized (non-streaming defense rule)"),
+		AsyncStaleAccepted: r.Counter("dinar_flnet_async_stale_accepted_total",
+			"staleness-weighted updates from earlier rounds folded into a later round"),
+		AsyncStaleDropped: r.Counter("dinar_flnet_async_stale_dropped_total",
+			"buffered updates dropped for exceeding the async staleness bound"),
+		AsyncBuffered: r.Gauge("dinar_flnet_async_buffered",
+			"late updates currently buffered for a future round's staleness-weighted fold"),
+
+		RoundTailSeconds: r.Histogram("dinar_flnet_round_tail_seconds",
+			"checkpoint encode+fsync duration per round (the round tail the pipeline overlaps)", nil),
+		PipelineOverlapSeconds: r.Histogram("dinar_flnet_pipeline_overlap_seconds",
+			"per round, how much checkpoint-tail time ran concurrently with the next round's broadcast/collect", nil),
+		PipelineStallSeconds: r.Histogram("dinar_flnet_pipeline_stall_seconds",
+			"per round, how long the round loop blocked waiting for the previous round's checkpoint write", nil),
+	}
+}
+
+// defaultMetrics is the process-wide bundle in telemetry.Default():
+// single-federation binaries and servers constructed without an explicit
+// Registry keep their original metric names and accumulation behavior.
+var defaultMetrics = newMetricsIn(telemetry.Default())
+
+// Client-side counters stay process-global: a client process dials
+// exactly one federation and has no job-scoped registry.
+var (
+	telClientReconnects = telemetry.NewCounter("dinar_flnet_client_reconnects_total",
+		"reconnection attempts made by flnet clients in this process")
+	telClientDrainWaits = telemetry.NewCounter("dinar_flnet_client_drain_waits_total",
+		"drain back-off waits performed by flnet clients in this process")
 )

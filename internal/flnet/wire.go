@@ -151,6 +151,13 @@ type Message struct {
 	// omits empty slices, so cohort-free deployments interoperate
 	// unchanged.
 	Cohort []int
+	// Job names the federation job this client wants to join; only
+	// meaningful on Hello, and only when dialing a multi-job service-mode
+	// server, which routes the connection to the named job before the
+	// job's own registration logic ever sees it. Hello frames are always
+	// gob (negotiation happens after them) and gob omits empty strings,
+	// so single-job deployments interoperate unchanged.
+	Job string
 	// WireCaps is the capability bitmask: on Hello the sender's supported
 	// codecs, on KindWire the server's negotiated subset. Gob omits zero
 	// fields, so capability-free peers interoperate unchanged.

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// errorBody is the JSON document every non-2xx admin response carries.
+// Fields is populated for validation failures so callers can
+// machine-match the offending spec fields.
+type errorBody struct {
+	Error  string     `json:"error"`
+	Fields SpecErrors `json:"fields,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // response writer
+}
+
+// writeError maps a control-plane error onto an HTTP status: validation
+// failures are 400 with the typed field list, unknown jobs 404, lifecycle
+// conflicts (wrong state, duplicate name) 409.
+func writeError(w http.ResponseWriter, err error) {
+	var specErrs SpecErrors
+	switch {
+	case errors.As(err, &specErrs):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid job spec", Fields: specErrs})
+	case errors.Is(err, ErrJobNotFound):
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrJobExists):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	}
+}
+
+// drainTimeout bounds how long an admin drain/pause request waits for the
+// in-flight round before answering; the drain keeps progressing
+// server-side either way.
+const drainTimeout = 2 * time.Minute
+
+// AdminMux returns the service's admin API combined with the standard
+// observability routes (/metrics merged across all job registries,
+// /healthz, /debug/pprof/):
+//
+//	POST   /jobs             create + start a job (400 typed spec errors, 409 duplicate)
+//	GET    /jobs             list every job's status
+//	GET    /jobs/{name}      one job's status
+//	POST   /jobs/{name}/drain   graceful stop (terminal "done")
+//	POST   /jobs/{name}/pause   graceful stop into resumable "paused"
+//	POST   /jobs/{name}/resume  restart a paused job from its checkpoints
+//	DELETE /jobs/{name}      stop, unregister, delete checkpoint chain
+func (s *Service) AdminMux() *http.ServeMux {
+	mux := telemetry.AdminMux(s.Health, s.WriteMetrics)
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		spec, err := DecodeJobSpec(r.Body)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		// A builder or server-construction failure is a bad request too
+		// (unknown dataset, seed/checkpoint mismatch): the job was never
+		// registered, so nothing is half-constructed.
+		st, err := s.CreateJob(*spec)
+		if err != nil {
+			var specErrs SpecErrors
+			if errors.As(err, &specErrs) || errors.Is(err, ErrJobExists) {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.ListJobs())
+	})
+
+	mux.HandleFunc("GET /jobs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.JobStatus(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	lifecycle := func(op func(ctx context.Context, name string) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), drainTimeout)
+			defer cancel()
+			name := r.PathValue("name")
+			if err := op(ctx, name); err != nil {
+				writeError(w, err)
+				return
+			}
+			st, err := s.JobStatus(name)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, st)
+		}
+	}
+
+	mux.HandleFunc("POST /jobs/{name}/drain", lifecycle(s.DrainJob))
+	mux.HandleFunc("POST /jobs/{name}/pause", lifecycle(s.PauseJob))
+	mux.HandleFunc("POST /jobs/{name}/resume", lifecycle(func(_ context.Context, name string) error {
+		return s.ResumeJob(name)
+	}))
+	mux.HandleFunc("DELETE /jobs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.DeleteJob(r.PathValue("name")); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
+	})
+
+	return mux
+}
+
+// ServeAdmin starts the admin API on addr (":0" for ephemeral).
+func (s *Service) ServeAdmin(addr string) (*telemetry.AdminServer, error) {
+	return telemetry.ServeHandler(addr, s.AdminMux())
+}

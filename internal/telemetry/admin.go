@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -18,25 +19,23 @@ type AdminServer struct {
 	srv *http.Server
 }
 
-// ServeAdmin starts an admin server on addr (":0" for an ephemeral port).
-// health supplies the /healthz snapshot (nil serves a zero Health);
-// reg supplies /metrics (nil means the Default registry). The server runs
-// until Close.
-func ServeAdmin(addr string, health func() Health, reg *Registry) (*AdminServer, error) {
-	if reg == nil {
-		reg = Default()
+// AdminMux builds the standard admin route set on a fresh mux: /metrics
+// from writeMetrics (nil means the Default registry), /healthz from
+// health (nil serves a zero Health), and net/http/pprof under
+// /debug/pprof/. Callers that need extra routes — service mode mounts its
+// /jobs API here — add them to the returned mux before serving it with
+// ServeHandler.
+func AdminMux(health func() Health, writeMetrics func(io.Writer) error) *http.ServeMux {
+	if writeMetrics == nil {
+		writeMetrics = Default().WritePrometheus
 	}
 	if health == nil {
 		health = func() Health { return Health{} }
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("telemetry: admin listen %s: %w", addr, err)
-	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
+		_ = writeMetrics(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		data, err := EncodeHealth(health())
@@ -52,16 +51,37 @@ func ServeAdmin(addr string, health func() Health, reg *Registry) (*AdminServer,
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
+// ServeHandler starts an admin HTTP server for handler on addr (":0" for
+// an ephemeral port). The server runs until Close.
+func ServeHandler(addr string, handler http.Handler) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: admin listen %s: %w", addr, err)
+	}
 	a := &AdminServer{
 		ln: ln,
 		srv: &http.Server{
-			Handler:           mux,
+			Handler:           handler,
 			ReadHeaderTimeout: 10 * time.Second,
 		},
 	}
 	go a.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return a, nil
+}
+
+// ServeAdmin starts an admin server on addr (":0" for an ephemeral port).
+// health supplies the /healthz snapshot (nil serves a zero Health);
+// reg supplies /metrics (nil means the Default registry). The server runs
+// until Close.
+func ServeAdmin(addr string, health func() Health, reg *Registry) (*AdminServer, error) {
+	var writeMetrics func(io.Writer) error
+	if reg != nil {
+		writeMetrics = reg.WritePrometheus
+	}
+	return ServeHandler(addr, AdminMux(health, writeMetrics))
 }
 
 // Addr returns the bound admin address.

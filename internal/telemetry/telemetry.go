@@ -124,14 +124,37 @@ type entry struct {
 // Registry holds named instruments and renders them in Prometheus text
 // format. The zero value is unusable; use NewRegistry or the package-level
 // Default registry.
+//
+// A registry may carry one constant label pair (NewLabeledRegistry) that
+// is rendered on every sample it exposes — the mechanism behind per-job
+// metric isolation in service mode: each federation job registers its
+// instruments into its own `job`-labeled registry, and the admin endpoint
+// merges all of them with WritePrometheusMerged so two jobs' counters
+// never collapse into one indistinguishable process-wide total.
 type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*entry
+
+	// scalarSuffix is `{key="value"}` appended to counter/gauge/sum/count
+	// sample names; bucketPrefix is `key="value",` merged ahead of the
+	// le label on histogram buckets. Both empty for unlabeled registries.
+	scalarSuffix string
+	bucketPrefix string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*entry)}
+}
+
+// NewLabeledRegistry returns an empty registry whose every exposed sample
+// carries the constant label key="value" (e.g. job="mnist-a"). The label
+// is rendered at exposition time only; instruments stay allocation-free.
+func NewLabeledRegistry(key, value string) *Registry {
+	r := NewRegistry()
+	r.scalarSuffix = fmt.Sprintf("{%s=%q}", key, value)
+	r.bucketPrefix = fmt.Sprintf("%s=%q,", key, value)
+	return r
 }
 
 // defaultRegistry is the process-wide registry every package-level
@@ -176,6 +199,53 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram 
 	return h
 }
 
+// Counter returns the counter registered under name, registering it first
+// when absent. Unlike NewCounter, finding the name already registered is
+// not an error — metric bundles built per registry (one per federation
+// job) can be rebuilt over the same registry when a job restarts from its
+// checkpoint, and the instrument keeps accumulating where it left off.
+// A name already registered as a different instrument kind still panics.
+func (r *Registry) Counter(name, help string) *Counter {
+	if e := r.lookup(name, kindCounter); e != nil {
+		return e.c
+	}
+	return r.NewCounter(name, help)
+}
+
+// Gauge returns the gauge registered under name, registering it first when
+// absent (see Counter for the reuse contract).
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if e := r.lookup(name, kindGauge); e != nil {
+		return e.g
+	}
+	return r.NewGauge(name, help)
+}
+
+// Histogram returns the histogram registered under name, registering it
+// first when absent (see Counter for the reuse contract). The bounds of an
+// existing histogram are kept; the argument only shapes a fresh one.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if e := r.lookup(name, kindHistogram); e != nil {
+		return e.h
+	}
+	return r.NewHistogram(name, help, bounds)
+}
+
+// lookup returns the entry under name after checking its kind, or nil when
+// the name is unregistered.
+func (r *Registry) lookup(name string, k kind) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil
+	}
+	if e.k != k {
+		panic(fmt.Sprintf("telemetry: metric %q re-requested as a different instrument kind", name))
+	}
+	return e
+}
+
 // NewCounter registers a counter in the Default registry.
 func NewCounter(name, help string) *Counter { return defaultRegistry.NewCounter(name, help) }
 
@@ -188,51 +258,122 @@ func NewHistogram(name, help string, bounds []float64) *Histogram {
 	return defaultRegistry.NewHistogram(name, help, bounds)
 }
 
-// WritePrometheus renders every registered instrument in Prometheus text
-// exposition format, sorted by metric name so output is deterministic.
-func (r *Registry) WritePrometheus(w io.Writer) error {
+// sample couples one instrument with the label rendering of the registry
+// that owns it, so merged exposition can interleave samples from several
+// registries under one HELP/TYPE header.
+type sample struct {
+	e            *entry
+	scalarSuffix string
+	bucketPrefix string
+}
+
+// snapshot returns the registry's entries sorted by name, each tagged with
+// the registry's label rendering.
+func (r *Registry) snapshot() []sample {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.entries))
 	for name := range r.entries {
 		names = append(names, name)
 	}
-	entries := make([]*entry, 0, len(names))
 	sort.Strings(names)
+	out := make([]sample, 0, len(names))
 	for _, name := range names {
-		entries = append(entries, r.entries[name])
+		out = append(out, sample{e: r.entries[name], scalarSuffix: r.scalarSuffix, bucketPrefix: r.bucketPrefix})
 	}
-	r.mu.Unlock()
+	return out
+}
 
-	for _, e := range entries {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+// writeSample renders one instrument's sample lines (no HELP/TYPE header).
+func writeSample(w io.Writer, s sample) error {
+	e := s.e
+	switch e.k {
+	case kindCounter:
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", e.name, s.scalarSuffix, e.c.Value()); err != nil {
 			return err
 		}
-		switch e.k {
-		case kindCounter:
-			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.c.Value()); err != nil {
+	case kindGauge:
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", e.name, s.scalarSuffix, e.g.Value()); err != nil {
+			return err
+		}
+	case kindHistogram:
+		var cum int64
+		for i, b := range e.h.bounds {
+			cum += e.h.buckets[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", e.name, s.bucketPrefix, formatBound(b), cum); err != nil {
 				return err
 			}
-		case kindGauge:
-			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.g.Value()); err != nil {
-				return err
+		}
+		cum += e.h.buckets[len(e.h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", e.name, s.bucketPrefix, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+			e.name, s.scalarSuffix, strconv.FormatFloat(e.h.Sum(), 'g', -1, 64),
+			e.name, s.scalarSuffix, e.h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// typeName renders the Prometheus TYPE keyword for an instrument kind.
+func (k kind) typeName() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// WritePrometheus renders every registered instrument in Prometheus text
+// exposition format, sorted by metric name so output is deterministic. A
+// labeled registry's samples carry its constant label.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.snapshot() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", s.e.name, s.e.help, s.e.name, s.e.k.typeName()); err != nil {
+			return err
+		}
+		if err := writeSample(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheusMerged renders the union of several registries as one
+// valid Prometheus exposition: samples sharing a metric name are grouped
+// under a single HELP/TYPE header (Prometheus rejects repeated headers),
+// distinguished by each registry's constant label. This is how service
+// mode serves one /metrics page covering the process-wide Default
+// registry plus every job's labeled registry. Registries listed earlier
+// win HELP-text conflicts; two unlabeled registries sharing a name would
+// emit duplicate series, so callers label all but one.
+func WritePrometheusMerged(w io.Writer, regs ...*Registry) error {
+	byName := make(map[string][]sample)
+	names := make([]string, 0, 64)
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		for _, s := range r.snapshot() {
+			if _, seen := byName[s.e.name]; !seen {
+				names = append(names, s.e.name)
 			}
-		case kindHistogram:
-			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", e.name); err != nil {
-				return err
-			}
-			var cum int64
-			for i, b := range e.h.bounds {
-				cum += e.h.buckets[i].Load()
-				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", e.name, formatBound(b), cum); err != nil {
-					return err
-				}
-			}
-			cum += e.h.buckets[len(e.h.bounds)].Load()
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", e.name, cum); err != nil {
-				return err
-			}
-			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
-				e.name, strconv.FormatFloat(e.h.Sum(), 'g', -1, 64), e.name, e.h.Count()); err != nil {
+			byName[s.e.name] = append(byName[s.e.name], s)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		group := byName[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, group[0].e.help, name, group[0].e.k.typeName()); err != nil {
+			return err
+		}
+		for _, s := range group {
+			if err := writeSample(w, s); err != nil {
 				return err
 			}
 		}

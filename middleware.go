@@ -85,6 +85,10 @@ type ServerOptions struct {
 	// QuantSeed seeds the stochastic quantizer; 0 adopts the checkpoint's
 	// recorded seed when resuming, else Config.Seed.
 	QuantSeed int64
+	// Pipeline overlaps each round's checkpoint write with the next
+	// round's broadcast. The persisted chain is bit-identical to the
+	// sequential one; only the round tail latency changes.
+	Pipeline bool
 	// Logf receives fault-tolerance progress lines (optional).
 	Logf func(format string, args ...any)
 	// AdminAddr, if non-empty, starts an HTTP observability listener
@@ -149,6 +153,7 @@ func NewMiddlewareServer(opts ServerOptions) (*MiddlewareServer, error) {
 		// a resumed federation adopts the checkpoint's quantizer seed.
 		QuantSeed:        opts.QuantSeed,
 		QuantSeedDefault: cfg.Seed,
+		Pipeline:         opts.Pipeline,
 		Defense:           def,
 		InitialState:      m.StateVector(),
 		CheckpointPath:    opts.CheckpointPath,
@@ -245,6 +250,10 @@ type ClientOptions struct {
 	// v3 binary codecs in the Hello (the server picks the intersection),
 	// "gob" pins the legacy encoding.
 	Wire string
+	// Job names the federation job this client belongs to when the server
+	// runs in multi-tenant service mode; empty is fine against single-job
+	// servers.
+	Job string
 	// PrivateCheckpointPath, if non-empty, persists the client's DINAR
 	// private-layer store after every round and restores it on startup
 	// from the newest intact generation. Losing this store costs the
@@ -324,6 +333,7 @@ func RunMiddlewareClient(ctx context.Context, opts ClientOptions) (*ParticipantR
 		MaxRetries:  opts.MaxRetries,
 		BaseBackoff: opts.BaseBackoff,
 		Wire:        opts.Wire,
+		Job:         opts.Job,
 		Logf:        opts.Logf,
 	}
 	if opts.PrivateCheckpointPath != "" {
